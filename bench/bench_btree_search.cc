@@ -1,0 +1,90 @@
+// Experiment T-btree: B-tree search vs binary search on a sorted array.
+//
+// The survey's Search(N) = Θ(log_B N) vs the Θ(log_2 N) I/Os of binary
+// search over a cold sorted array: the B-tree wins by a factor ~log_2(B).
+#include "bench/bench_util.h"
+#include "core/ext_vector.h"
+#include "io/memory_block_device.h"
+#include "search/bplus_tree.h"
+#include "util/random.h"
+
+using namespace vem;
+using namespace vem::bench;
+
+namespace {
+
+// Binary search on a sorted pooled ExtVector — each probe is a paged
+// random access.
+Status PagedBinarySearch(const ExtVector<uint64_t>& v, uint64_t key,
+                         bool* found) {
+  size_t lo = 0, hi = v.size();
+  *found = false;
+  while (lo < hi) {
+    size_t mid = (lo + hi) / 2;
+    uint64_t x;
+    VEM_RETURN_IF_ERROR(v.Get(mid, &x));
+    if (x == key) {
+      *found = true;
+      return Status::OK();
+    }
+    if (x < key) lo = mid + 1; else hi = mid;
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+int main() {
+  constexpr size_t kBlockBytes = 4096;
+  std::printf(
+      "# T-btree: B+-tree point search vs binary search on sorted array\n"
+      "# B = %zu bytes, cold cache (4-frame pool), 200 queries per row\n\n",
+      kBlockBytes);
+  Table t({"N", "btree I/Os per query", "binsearch I/Os per query",
+           "log_B N", "log_2 N", "btree advantage"});
+  for (size_t n : {1u << 12, 1u << 14, 1u << 16, 1u << 18, 1u << 20}) {
+    MemoryBlockDevice dev(kBlockBytes);
+    BufferPool pool(&dev, 4);
+    // Sorted array.
+    ExtVector<uint64_t> arr(&dev, &pool);
+    {
+      ExtVector<uint64_t>::Writer w(&arr);
+      for (uint64_t i = 0; i < n; ++i) w.Append(i * 2);
+      w.Finish();
+    }
+    // B+-tree over the same keys.
+    BPlusTree<uint64_t, uint64_t> tree(&pool);
+    tree.Init();
+    for (uint64_t i = 0; i < n; ++i) tree.Insert(i * 2, i);
+
+    const int kQ = 200;
+    Rng rng(n);
+    std::vector<uint64_t> queries(kQ);
+    for (auto& q : queries) q = rng.Uniform(n) * 2;
+
+    IoProbe p1(dev);
+    for (uint64_t q : queries) {
+      uint64_t v;
+      tree.Get(q, &v);
+    }
+    double btree_ios = static_cast<double>(p1.delta().block_reads) / kQ;
+
+    IoProbe p2(dev);
+    for (uint64_t q : queries) {
+      bool found;
+      PagedBinarySearch(arr, q, &found);
+    }
+    double bin_ios = static_cast<double>(p2.delta().block_reads) / kQ;
+
+    double logb = std::log(static_cast<double>(n)) /
+                  std::log(static_cast<double>(tree.leaf_capacity()));
+    double log2 = std::log2(static_cast<double>(n));
+    t.AddRow({FmtInt(n), Fmt(btree_ios), Fmt(bin_ios), Fmt(logb), Fmt(log2),
+              Fmt(bin_ios / btree_ios, 1) + "x"});
+  }
+  t.Print();
+  std::printf(
+      "Expected shape: btree I/Os track log_B N (1-3), binary search tracks\n"
+      "log_2 N minus the few top levels that fit in the pool.\n");
+  return 0;
+}

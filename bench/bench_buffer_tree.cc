@@ -1,0 +1,53 @@
+// Experiment T-buffertree: buffer tree batched inserts vs online B-tree.
+//
+// Arge's bound: amortized O((1/B)·log_{M/B}(N/B)) I/Os per buffered op,
+// against Θ(log_B N) per online B-tree insert — a ~B/log-factor gap.
+#include "bench/bench_util.h"
+#include "io/memory_block_device.h"
+#include "search/bplus_tree.h"
+#include "search/buffer_tree.h"
+#include "util/random.h"
+
+using namespace vem;
+using namespace vem::bench;
+
+int main() {
+  constexpr size_t kBlockBytes = 1024;
+  constexpr size_t kMemBytes = 32 * 1024;
+  std::printf(
+      "# T-buffertree: buffered vs online inserts (B = %zu B, M = %zu B)\n\n",
+      kBlockBytes, kMemBytes);
+  Table t({"N", "buffer tree I/Os", "per op", "B+-tree I/Os", "per op",
+           "advantage"});
+  for (size_t n : {1u << 14, 1u << 16, 1u << 18, 1u << 19}) {
+    MemoryBlockDevice dev(kBlockBytes);
+    uint64_t bt_ios, pt_ios;
+    {
+      BufferTree<uint64_t, uint64_t> tree(&dev, kMemBytes);
+      Rng rng(n);
+      IoProbe probe(dev);
+      for (size_t i = 0; i < n; ++i) tree.Insert(rng.Next(), i);
+      tree.FlushAll();
+      bt_ios = probe.delta().block_ios();
+    }
+    {
+      BufferPool pool(&dev, kMemBytes / kBlockBytes);
+      BPlusTree<uint64_t, uint64_t> tree(&pool);
+      tree.Init();
+      Rng rng(n);
+      IoProbe probe(dev);
+      for (size_t i = 0; i < n; ++i) tree.Insert(rng.Next(), i);
+      pt_ios = probe.delta().block_ios();
+    }
+    t.AddRow({FmtInt(n), FmtInt(bt_ios),
+              Fmt(static_cast<double>(bt_ios) / n, 4), FmtInt(pt_ios),
+              Fmt(static_cast<double>(pt_ios) / n, 4),
+              Fmt(static_cast<double>(pt_ios) / bt_ios, 1) + "x"});
+  }
+  t.Print();
+  std::printf(
+      "Expected shape: buffer tree per-op cost << 1 I/O and shrinking with\n"
+      "N's economies of scale gone — advantage grows as the B+-tree's\n"
+      "working set falls out of the pool.\n");
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Experiment T-cc: external connected components.
+//
+// Hook + pointer-jump label propagation: O(Sort(E)) per round, O(log V)
+// rounds. We sweep graph density across the connectivity threshold and
+// report I/Os, rounds, and the I/O-per-Sort(E) ratio.
+#include "bench/bench_util.h"
+#include "graph/connected_components.h"
+#include "io/memory_block_device.h"
+#include "util/random.h"
+
+using namespace vem;
+using namespace vem::bench;
+
+int main() {
+  constexpr size_t kBlockBytes = 4096;
+  constexpr size_t kMemBytes = 128 * 1024;
+  const double kB = kBlockBytes / static_cast<double>(sizeof(Edge));
+  const double kM = kMemBytes / static_cast<double>(sizeof(Edge));
+  std::printf(
+      "# T-cc: connected components via Boruvka hook-and-contract\n"
+      "# B = %.0f edges/block, M = %.0f edges; V = 65536, sweep density\n\n",
+      kB, kM);
+  const size_t v = 1u << 16;
+  Table t({"E/V", "components", "rounds", "I/Os", "Sort(E) * rounds",
+           "ratio"});
+  for (double density : {0.25, 0.5, 1.0, 2.0, 4.0}) {
+    size_t e = static_cast<size_t>(density * v);
+    MemoryBlockDevice dev(kBlockBytes);
+    Rng rng(static_cast<uint64_t>(density * 100));
+    ExtVector<Edge> edges(&dev);
+    {
+      ExtVector<Edge>::Writer w(&edges);
+      for (size_t i = 0; i < e; ++i) {
+        w.Append(Edge{rng.Uniform(v), rng.Uniform(v)});
+      }
+      w.Finish();
+    }
+    ConnectedComponents cc(&dev, kMemBytes);
+    ExtVector<VertexLabel> labels(&dev);
+    IoProbe probe(dev);
+    cc.Run(edges, v, &labels);
+    uint64_t ios = probe.delta().block_ios();
+    // Count components.
+    size_t comps = 0;
+    {
+      ExtVector<VertexLabel>::Reader r(&labels);
+      VertexLabel vl;
+      while (r.Next(&vl)) {
+        if (vl.v == vl.label) comps++;
+      }
+    }
+    double bound = SortBound(2.0 * e, kB, kM) * cc.rounds();
+    t.AddRow({Fmt(density, 2), FmtInt(comps), FmtInt(cc.rounds()),
+              FmtInt(ios), Fmt(bound, 0), Fmt(ios / bound)});
+  }
+  t.Print();
+  std::printf(
+      "Expected shape: rounds stay O(log V) across the density sweep; I/Os\n"
+      "per (Sort(E) x rounds) roughly constant. Component count collapses\n"
+      "near E/V ~ 0.5 (the giant-component threshold), while cost stays\n"
+      "sort-bounded.\n");
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Experiment T1-fft: FFT(N) = Θ((N/B) log_{M/B}(N/B)) (Table 1's FFT row).
+//
+// Six-step (transpose-method) FFT: a constant number of Θ(N/B) passes in
+// the single-level regime, vs the textbook in-place butterfly network
+// paging its strided accesses — ~N log N random I/Os once N >> M.
+#include "bench/bench_util.h"
+#include "io/memory_block_device.h"
+#include "sort/fft.h"
+#include "util/random.h"
+
+using namespace vem;
+using namespace vem::bench;
+
+int main() {
+  constexpr size_t kBlockBytes = 512;  // 32 Complex per block
+  constexpr size_t kMemBytes = 64 * 1024;
+  const size_t kB = kBlockBytes / sizeof(Complex);
+  std::printf(
+      "# T1-fft: six-step out-of-core FFT vs paged butterfly network\n"
+      "# B = %zu complex, M = %zu KiB\n\n",
+      kB, kMemBytes / 1024);
+  Table t({"N", "six-step I/Os", "N/B", "passes-equivalent",
+           "paged butterfly I/Os", "advantage"});
+  for (size_t n : {1u << 12, 1u << 14, 1u << 16}) {
+    MemoryBlockDevice dev(kBlockBytes);
+    Rng rng(n);
+    std::vector<Complex> x(n);
+    for (auto& c : x) {
+      c.re = rng.NextDouble();
+      c.im = rng.NextDouble();
+    }
+    uint64_t six_ios, paged_ios;
+    {
+      ExtVector<Complex> in(&dev), out(&dev);
+      in.AppendAll(x.data(), x.size());
+      ExternalFft fft(&dev, kMemBytes);
+      IoProbe probe(dev);
+      fft.Forward(in, &out);
+      six_ios = probe.delta().block_ios();
+    }
+    {
+      BufferPool pool(&dev, kMemBytes / kBlockBytes);
+      ExtVector<Complex> data(&dev, &pool);
+      data.AppendAll(x.data(), x.size());
+      IoProbe probe(dev);
+      FftPagedBaseline(&data, false);
+      pool.FlushAll();
+      paged_ios = probe.delta().block_ios();
+    }
+    double scan = static_cast<double>(n) / kB;
+    t.AddRow({FmtInt(n), FmtInt(six_ios), Fmt(scan, 0),
+              Fmt(six_ios / scan, 1), FmtInt(paged_ios),
+              Fmt(static_cast<double>(paged_ios) / six_ios, 1) + "x"});
+  }
+  t.Print();
+  std::printf(
+      "Expected shape: six-step stays a constant number of N/B passes\n"
+      "(flat passes-equivalent column); the paged butterfly explodes once\n"
+      "N >> M because every pass of the butterfly strides the whole array.\n");
+  return 0;
+}

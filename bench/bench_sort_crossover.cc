@@ -1,0 +1,120 @@
+// Experiment F-sortx: the external-vs-internal sorting crossover.
+//
+// The survey's motivating observation: an in-memory sort run on data
+// larger than RAM thrashes — its random access pattern costs ~1 I/O per
+// access — while external merge sort stays at Sort(N). We sort the same
+// input two ways at a fixed memory budget M and sweep N/M:
+//   - "virtual memory quicksort": in-place quicksort on an ExtVector
+//     through an M-sized buffer pool (the paging behavior of an internal
+//     algorithm on mmap-ed data);
+//   - external merge sort.
+// Expected shape: equal-ish below N <= M, then the paging sort's I/Os
+// explode (~N log N random accesses) while merge sort grows as Sort(N).
+#include "bench/bench_util.h"
+#include "core/ext_vector.h"
+#include "io/memory_block_device.h"
+#include "sort/external_sort.h"
+#include "util/random.h"
+
+using namespace vem;
+using namespace vem::bench;
+
+namespace {
+
+constexpr size_t kBlockBytes = 1024;
+constexpr size_t kMemBytes = 16 * 1024;  // M = 2048 items
+
+// In-place quicksort (median-of-3, insertion below 16) over a pooled
+// vector: every Get/Set is a paged access, exactly what an internal
+// algorithm does to virtual memory.
+Status PagedQuickSort(ExtVector<uint64_t>* v, int64_t lo, int64_t hi) {
+  auto get = [&](int64_t i) {
+    uint64_t x = 0;
+    (void)v->Get(static_cast<size_t>(i), &x);
+    return x;
+  };
+  auto swap = [&](int64_t i, int64_t j) {
+    uint64_t a = get(i), b = get(j);
+    (void)v->Set(static_cast<size_t>(i), b);
+    (void)v->Set(static_cast<size_t>(j), a);
+  };
+  while (lo < hi) {
+    if (hi - lo < 16) {
+      for (int64_t i = lo + 1; i <= hi; ++i) {
+        for (int64_t j = i; j > lo && get(j - 1) > get(j); --j) swap(j - 1, j);
+      }
+      return Status::OK();
+    }
+    int64_t mid = lo + (hi - lo) / 2;
+    uint64_t a = get(lo), b = get(mid), c = get(hi);
+    uint64_t pivot = std::max(std::min(a, b), std::min(std::max(a, b), c));
+    int64_t i = lo, j = hi;
+    while (i <= j) {
+      while (get(i) < pivot) i++;
+      while (get(j) > pivot) j--;
+      if (i <= j) {
+        swap(i, j);
+        i++;
+        j--;
+      }
+    }
+    // Recurse on the smaller side, iterate on the larger.
+    if (j - lo < hi - i) {
+      VEM_RETURN_IF_ERROR(PagedQuickSort(v, lo, j));
+      lo = i;
+    } else {
+      VEM_RETURN_IF_ERROR(PagedQuickSort(v, i, hi));
+      hi = j;
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+int main() {
+  const size_t m_items = kMemBytes / sizeof(uint64_t);
+  std::printf(
+      "# F-sortx: external merge sort vs paged internal quicksort\n"
+      "# fixed M = %zu items, B = %zu items; sweep N/M\n\n",
+      m_items, kBlockBytes / sizeof(uint64_t));
+  Table t({"N", "N/M", "quicksort I/Os", "merge sort I/Os", "advantage"});
+  for (double ratio : {0.5, 1.0, 2.0, 4.0, 8.0, 16.0}) {
+    size_t n = static_cast<size_t>(ratio * m_items);
+    MemoryBlockDevice dev(kBlockBytes);
+    Rng rng(n);
+    std::vector<uint64_t> data(n);
+    for (auto& x : data) x = rng.Next();
+
+    // Paged quicksort.
+    uint64_t qs_ios;
+    {
+      BufferPool pool(&dev, kMemBytes / kBlockBytes);
+      ExtVector<uint64_t> v(&dev, &pool);
+      v.AppendAll(data.data(), n);
+      IoProbe probe(dev);
+      PagedQuickSort(&v, 0, static_cast<int64_t>(n) - 1);
+      pool.FlushAll();
+      qs_ios = probe.delta().block_ios();
+    }
+    // External merge sort.
+    uint64_t ms_ios;
+    {
+      MemoryBlockDevice dev2(kBlockBytes);
+      ExtVector<uint64_t> v(&dev2);
+      v.AppendAll(data.data(), n);
+      ExtVector<uint64_t> out(&dev2);
+      IoProbe probe(dev2);
+      ExternalSort(v, &out, kMemBytes);
+      ms_ios = probe.delta().block_ios();
+    }
+    t.AddRow({FmtInt(n), Fmt(ratio, 1), FmtInt(qs_ios), FmtInt(ms_ios),
+              Fmt(static_cast<double>(qs_ios) / ms_ios, 1) + "x"});
+  }
+  t.Print();
+  std::printf(
+      "Expected shape: ~parity while N <= M, then the paged sort's I/Os\n"
+      "grow like N log N random accesses while merge sort stays at "
+      "Sort(N).\n");
+  return 0;
+}

@@ -1,0 +1,116 @@
+// Experiment T-strsort: external string sorting.
+//
+// Prefix-record refinement vs sorting full fixed-width padded payloads:
+// the prefix method moves 16-byte records per round and only re-sorts
+// unresolved ties, so on realistic corpora (few long shared prefixes) it
+// moves far fewer bytes.
+#include <string>
+
+#include "bench/bench_util.h"
+#include "io/memory_block_device.h"
+#include "sort/external_sort.h"
+#include "string/string_sort.h"
+#include "util/random.h"
+
+using namespace vem;
+using namespace vem::bench;
+
+namespace {
+
+// Baseline: pad every string to 128 bytes and comparison-sort the padded
+// records (what a schema with CHAR(128) keys does).
+struct Padded {
+  char data[128];
+  uint64_t id;
+  bool operator<(const Padded& o) const {
+    int c = std::memcmp(data, o.data, sizeof(data));
+    if (c != 0) return c < 0;
+    return id < o.id;
+  }
+};
+
+std::string RandomWord(Rng* rng, ZipfGenerator* zipf) {
+  // Timestamped log line: the 8-digit timestamp decides the sort order
+  // within the first 8 bytes; the zipf-ranked event name and payload tail
+  // are dead weight that a padded comparison sort still has to move
+  // through every merge pass.
+  static const char* kEvents[] = {"read", "write", "open", "close", "seek",
+                                  "sync", "flush", "alloc", "free", "scan"};
+  uint64_t ts = 10000000 + rng->Uniform(89999999);
+  std::string s = std::to_string(ts) + "-" + kEvents[zipf->Next() % 10];
+  s += "/payload/";
+  size_t tail = 20 + rng->Uniform(60);
+  for (size_t i = 0; i < tail; ++i) {
+    s.push_back('a' + static_cast<char>(rng->Uniform(26)));
+  }
+  return s;
+}
+
+}  // namespace
+
+int main() {
+  constexpr size_t kBlockBytes = 2048;
+  constexpr size_t kMemBytes = 32 * 1024;
+  std::printf(
+      "# T-strsort: prefix-refinement string sort vs padded-payload sort\n"
+      "# B = %zu bytes, M = %zu bytes, timestamped log-line corpus\n\n",
+      kBlockBytes, kMemBytes);
+  Table t({"N strings", "corpus bytes", "prefix I/Os", "rounds",
+           "padded I/Os", "bytes moved (prefix)", "bytes moved (padded)",
+           "advantage"});
+  for (size_t n : {2000u, 8000u, 32000u}) {
+    MemoryBlockDevice dev(kBlockBytes);
+    Rng rng(n);
+    ZipfGenerator zipf(10, 0.9, n);
+    std::vector<std::string> words;
+    size_t corpus_bytes = 0;
+    for (size_t i = 0; i < n; ++i) {
+      words.push_back(RandomWord(&rng, &zipf));
+      corpus_bytes += words.back().size();
+    }
+    uint64_t prefix_ios, padded_ios, prefix_bytes, padded_bytes;
+    size_t rounds;
+    {
+      StringCorpus corpus(&dev);
+      for (const auto& w : words) corpus.Add(w);
+      corpus.Finalize();
+      ExternalStringSort sorter(&dev, kMemBytes);
+      ExtVector<uint64_t> ids(&dev);
+      IoProbe probe(dev);
+      sorter.Sort(corpus, &ids);
+      prefix_ios = probe.delta().block_ios();
+      prefix_bytes = probe.delta().bytes_read + probe.delta().bytes_written;
+      rounds = sorter.rounds();
+    }
+    {
+      ExtVector<Padded> recs(&dev);
+      {
+        ExtVector<Padded>::Writer w(&recs);
+        for (size_t i = 0; i < n; ++i) {
+          Padded p{};
+          std::memcpy(p.data, words[i].data(),
+                      std::min<size_t>(words[i].size(), sizeof(p.data)));
+          p.id = i;
+          w.Append(p);
+        }
+        w.Finish();
+      }
+      ExtVector<Padded> out(&dev);
+      IoProbe probe(dev);
+      ExternalSort(recs, &out, kMemBytes);
+      padded_ios = probe.delta().block_ios();
+      padded_bytes = probe.delta().bytes_read + probe.delta().bytes_written;
+    }
+    t.AddRow({FmtInt(n), FmtInt(corpus_bytes), FmtInt(prefix_ios),
+              FmtInt(rounds), FmtInt(padded_ios), FmtInt(prefix_bytes),
+              FmtInt(padded_bytes),
+              Fmt(static_cast<double>(padded_ios) / prefix_ios, 1) + "x"});
+  }
+  t.Print();
+  std::printf(
+      "Expected shape: the prefix sorter resolves nearly all strings in 1-2\n"
+      "rounds of 24-byte records vs 136-byte padded records every pass —\n"
+      "both I/Os and bytes moved favor the prefix method, and the gap is\n"
+      "the payload-to-key ratio.\n");
+  return 0;
+}

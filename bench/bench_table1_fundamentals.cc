@@ -1,0 +1,162 @@
+// Experiment T1 (the survey's Table 1): the fundamental PDM bounds.
+//
+//   Scan(N)   = Θ(N/DB)
+//   Sort(N)   = Θ((N/DB) · log_{M/B}(N/B))
+//   Search(N) = Θ(log_B N)          (B+-tree point queries)
+//   Output(Z) = Θ(max(1, Z/DB))     (range-scan reporting)
+//
+// For each bound we sweep N and report measured I/Os, the theoretical
+// bound, and their ratio — the reproduction criterion is that the ratio
+// column is flat (Θ(1)) across the sweep.
+#include <cinttypes>
+
+#include "bench/bench_util.h"
+#include "core/ext_vector.h"
+#include "io/memory_block_device.h"
+#include "io/striped_device.h"
+#include "search/bplus_tree.h"
+#include "sort/external_sort.h"
+#include "util/random.h"
+
+using namespace vem;
+using namespace vem::bench;
+
+namespace {
+
+constexpr size_t kBlockBytes = 4096;
+constexpr size_t kMemBytes = 64 * 1024;
+constexpr size_t kB = kBlockBytes / sizeof(uint64_t);   // 512 items/block
+constexpr size_t kM = kMemBytes / sizeof(uint64_t);     // 8192 items
+
+void ScanAndSort() {
+  std::printf("## Scan(N) and Sort(N)  [B=%zu items, M=%zu items]\n\n", kB,
+              kM);
+  Table t({"N", "scan I/Os", "N/B", "scan ratio", "sort I/Os", "Sort(N)",
+           "sort ratio", "merge passes"});
+  for (size_t n : {1u << 14, 1u << 16, 1u << 18, 1u << 20, 1u << 22}) {
+    MemoryBlockDevice dev(kBlockBytes);
+    ExtVector<uint64_t> input(&dev);
+    Rng rng(n);
+    {
+      ExtVector<uint64_t>::Writer w(&input);
+      for (size_t i = 0; i < n; ++i) w.Append(rng.Next());
+      w.Finish();
+    }
+    // Scan.
+    IoProbe sp(dev);
+    {
+      ExtVector<uint64_t>::Reader r(&input);
+      uint64_t v, sum = 0;
+      while (r.Next(&v)) sum += v;
+      (void)sum;
+    }
+    uint64_t scan_ios = sp.delta().block_ios();
+    // Sort.
+    ExternalSorter<uint64_t> sorter(&dev, kMemBytes);
+    ExtVector<uint64_t> output(&dev);
+    IoProbe probe(dev);
+    sorter.Sort(input, &output);
+    uint64_t sort_ios = probe.delta().block_ios();
+    double scan_bound = ScanBound(n, kB);
+    double sort_bound = SortBound(n, kB, kM);
+    t.AddRow({FmtInt(n), FmtInt(scan_ios), Fmt(scan_bound, 0),
+              Fmt(scan_ios / scan_bound), FmtInt(sort_ios),
+              Fmt(sort_bound, 0), Fmt(sort_ios / sort_bound),
+              FmtInt(sorter.metrics().merge_passes)});
+  }
+  t.Print();
+}
+
+void Search() {
+  std::printf("## Search(N) = Theta(log_B N): cold B+-tree point queries\n\n");
+  Table t({"N", "avg I/Os per query", "height", "log_B N", "ratio"});
+  for (size_t n : {1u << 12, 1u << 14, 1u << 16, 1u << 18, 1u << 20}) {
+    MemoryBlockDevice dev(kBlockBytes);
+    BufferPool pool(&dev, 4);  // tiny pool => queries are cold
+    BPlusTree<uint64_t, uint64_t> tree(&pool);
+    tree.Init();
+    for (uint64_t i = 0; i < n; ++i) tree.Insert(i * 2, i);
+    Rng rng(n);
+    const int kQ = 200;
+    IoProbe probe(dev);
+    for (int q = 0; q < kQ; ++q) {
+      uint64_t v;
+      tree.Get(rng.Uniform(n) * 2, &v);
+    }
+    double per_query =
+        static_cast<double>(probe.delta().block_reads) / kQ;
+    double logb = std::log(static_cast<double>(n)) /
+                  std::log(static_cast<double>(tree.leaf_capacity()));
+    t.AddRow({FmtInt(n), Fmt(per_query), FmtInt(tree.height()), Fmt(logb),
+              Fmt(per_query / logb)});
+  }
+  t.Print();
+}
+
+void Output() {
+  std::printf("## Output(Z) = Theta(max(1, Z/B)): range-scan reporting\n\n");
+  const size_t n = 1u << 18;
+  MemoryBlockDevice dev(kBlockBytes);
+  BufferPool pool(&dev, 8);
+  BPlusTree<uint64_t, uint64_t> tree(&pool);
+  tree.Init();
+  for (uint64_t i = 0; i < n; ++i) tree.Insert(i, i);
+  Table t({"Z", "scan I/Os", "Z/B + log_B N", "ratio"});
+  for (size_t z : {1u, 100u, 10000u, 100000u}) {
+    Rng rng(z);
+    uint64_t lo = rng.Uniform(n - z);
+    IoProbe probe(dev);
+    size_t count = 0;
+    tree.Scan(lo, lo + z - 1, [&](const uint64_t&, const uint64_t&) {
+      count++;
+      return true;
+    });
+    // Leaf items per block differ from kB; use tree leaf capacity.
+    double bound = std::max<double>(
+        1.0, static_cast<double>(z) / tree.leaf_capacity()) + tree.height();
+    t.AddRow({FmtInt(z), FmtInt(probe.delta().block_reads), Fmt(bound, 1),
+              Fmt(probe.delta().block_reads / bound)});
+  }
+  t.Print();
+}
+
+void Striped() {
+  std::printf("## Scan with D disks (striping): parallel I/Os = N/(DB)\n\n");
+  const size_t n = 1u << 20;
+  Table t({"D", "parallel I/Os", "physical I/Os", "N/(DB)", "speedup vs D=1"});
+  double base = 0;
+  for (size_t d : {1u, 2u, 4u, 8u}) {
+    StripedDevice dev(d, kBlockBytes);
+    ExtVector<uint64_t> v(&dev);
+    {
+      ExtVector<uint64_t>::Writer w(&v);
+      for (size_t i = 0; i < n; ++i) w.Append(i);
+      w.Finish();
+    }
+    IoProbe probe(dev);
+    {
+      ExtVector<uint64_t>::Reader r(&v);
+      uint64_t x, sum = 0;
+      while (r.Next(&x)) sum += x;
+      (void)sum;
+    }
+    auto delta = probe.delta();
+    if (d == 1) base = static_cast<double>(delta.parallel_ios());
+    t.AddRow({FmtInt(d), FmtInt(delta.parallel_ios()),
+              FmtInt(delta.block_ios()),
+              Fmt(static_cast<double>(n) / (d * kB), 0),
+              Fmt(base / delta.parallel_ios())});
+  }
+  t.Print();
+}
+
+}  // namespace
+
+int main() {
+  std::printf("# T1: fundamental I/O bounds of the PDM (survey Table 1)\n\n");
+  ScanAndSort();
+  Search();
+  Output();
+  Striped();
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Shared helpers for the reproduction benches: markdown table printing
+// and the theoretical PDM bound formulas the measurements are compared
+// against.
+#pragma once
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace vem::bench {
+
+/// Minimal fixed-width table printer (markdown-ish, aligned).
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  void AddRow(std::vector<std::string> row) { rows_.push_back(std::move(row)); }
+
+  void Print() const {
+    std::vector<size_t> width(headers_.size());
+    for (size_t c = 0; c < headers_.size(); ++c) width[c] = headers_[c].size();
+    for (const auto& r : rows_) {
+      for (size_t c = 0; c < r.size() && c < width.size(); ++c) {
+        width[c] = std::max(width[c], r[c].size());
+      }
+    }
+    PrintRow(headers_, width);
+    std::string sep;
+    for (size_t c = 0; c < headers_.size(); ++c) {
+      sep += "|" + std::string(width[c] + 2, '-');
+    }
+    std::printf("%s|\n", sep.c_str());
+    for (const auto& r : rows_) PrintRow(r, width);
+    std::printf("\n");
+  }
+
+ private:
+  static void PrintRow(const std::vector<std::string>& row,
+                       const std::vector<size_t>& width) {
+    std::string line;
+    for (size_t c = 0; c < width.size(); ++c) {
+      std::string cell = c < row.size() ? row[c] : "";
+      line += "| " + cell + std::string(width[c] - cell.size() + 1, ' ');
+    }
+    std::printf("%s|\n", line.c_str());
+  }
+
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+inline std::string Fmt(double v, int prec = 2) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", prec, v);
+  return buf;
+}
+inline std::string FmtInt(uint64_t v) { return std::to_string(v); }
+
+/// ceil(log_base(x)), at least 1 (the "number of passes" convention).
+inline double Passes(double x, double base) {
+  if (x <= 1.0 || base <= 1.0) return 1.0;
+  return std::max(1.0, std::ceil(std::log(x) / std::log(base)));
+}
+
+/// Theoretical Sort(N) in block I/Os on one disk: 2*(N/B)*(1 + passes)
+/// (run formation + merge passes, reads+writes).
+inline double SortBound(double n_items, double items_per_block,
+                        double mem_items) {
+  double blocks = std::max(1.0, n_items / items_per_block);
+  double runs = std::max(1.0, n_items / mem_items);
+  double fan_in = std::max(2.0, mem_items / items_per_block - 1);
+  return 2.0 * blocks * (1.0 + Passes(runs, fan_in));
+}
+
+inline double ScanBound(double n_items, double items_per_block) {
+  return std::max(1.0, n_items / items_per_block);
+}
+
+}  // namespace vem::bench

@@ -1,0 +1,79 @@
+// ExtQueue<T>: external-memory FIFO queue, O(1/B) amortized I/Os per op.
+//
+// Head buffer + tail buffer of one block each; full tail blocks are spilled
+// to a list of block ids and reloaded at the head in FIFO order.
+#pragma once
+
+#include <deque>
+#include <vector>
+
+#include "io/block_device.h"
+#include "util/status.h"
+
+namespace vem {
+
+/// FIFO queue of trivially-copyable items on a block device.
+template <typename T>
+class ExtQueue {
+  static_assert(std::is_trivially_copyable_v<T>);
+
+ public:
+  explicit ExtQueue(BlockDevice* dev)
+      : dev_(dev), items_per_block_(dev->block_size() / sizeof(T)) {}
+
+  ExtQueue(const ExtQueue&) = delete;
+  ExtQueue& operator=(const ExtQueue&) = delete;
+
+  ~ExtQueue() {
+    for (uint64_t id : spilled_) dev_->Free(id);
+  }
+
+  size_t size() const {
+    return head_.size() - head_pos_ + spilled_.size() * items_per_block_ +
+           tail_.size();
+  }
+  bool empty() const { return size() == 0; }
+
+  /// Enqueue at the tail; spills one block when the tail buffer fills.
+  Status Push(const T& v) {
+    tail_.push_back(v);
+    if (tail_.size() == items_per_block_) {
+      uint64_t id = dev_->Allocate();
+      VEM_RETURN_IF_ERROR(dev_->Write(id, tail_.data()));
+      spilled_.push_back(id);
+      tail_.clear();
+    }
+    return Status::OK();
+  }
+
+  /// Dequeue from the head into *out; NotFound when empty.
+  Status Pop(T* out) {
+    if (head_pos_ == head_.size()) {
+      head_.clear();
+      head_pos_ = 0;
+      if (!spilled_.empty()) {
+        uint64_t id = spilled_.front();
+        spilled_.pop_front();
+        head_.resize(items_per_block_);
+        VEM_RETURN_IF_ERROR(dev_->Read(id, head_.data()));
+        dev_->Free(id);
+      } else if (!tail_.empty()) {
+        head_.swap(tail_);
+      } else {
+        return Status::NotFound("pop from empty queue");
+      }
+    }
+    *out = head_[head_pos_++];
+    return Status::OK();
+  }
+
+ private:
+  BlockDevice* dev_;
+  size_t items_per_block_;
+  std::vector<T> head_;
+  size_t head_pos_ = 0;
+  std::vector<T> tail_;
+  std::deque<uint64_t> spilled_;  // FIFO order of full blocks
+};
+
+}  // namespace vem

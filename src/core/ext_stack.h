@@ -1,0 +1,81 @@
+// ExtStack<T>: external-memory stack, O(1/B) amortized I/Os per operation.
+//
+// Classic construction from the survey's "fundamental data structures":
+// keep a 2-block in-memory buffer; when it fills, spill the older block to
+// disk; when it drains, reload the most recent spilled block. Every block
+// transferred carries B items, so N pushes + N pops cost O(N/B) I/Os.
+#pragma once
+
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "io/block_device.h"
+#include "util/status.h"
+
+namespace vem {
+
+/// LIFO stack of trivially-copyable items on a block device.
+template <typename T>
+class ExtStack {
+  static_assert(std::is_trivially_copyable_v<T>);
+
+ public:
+  explicit ExtStack(BlockDevice* dev)
+      : dev_(dev), items_per_block_(dev->block_size() / sizeof(T)) {
+    buffer_.reserve(2 * items_per_block_);
+  }
+
+  ExtStack(const ExtStack&) = delete;
+  ExtStack& operator=(const ExtStack&) = delete;
+
+  ~ExtStack() {
+    for (uint64_t id : spilled_) dev_->Free(id);
+  }
+
+  size_t size() const { return spilled_.size() * items_per_block_ + buffer_.size(); }
+  bool empty() const { return size() == 0; }
+
+  /// Push one item; spills one block when the buffer reaches 2 blocks.
+  Status Push(const T& v) {
+    buffer_.push_back(v);
+    if (buffer_.size() == 2 * items_per_block_) {
+      // Spill the OLDER half (bottom of the buffer) so pops stay cheap.
+      uint64_t id = dev_->Allocate();
+      VEM_RETURN_IF_ERROR(dev_->Write(id, buffer_.data()));
+      spilled_.push_back(id);
+      buffer_.erase(buffer_.begin(), buffer_.begin() + items_per_block_);
+    }
+    return Status::OK();
+  }
+
+  /// Pop the top item into *out; NotFound when empty.
+  Status Pop(T* out) {
+    if (buffer_.empty()) {
+      if (spilled_.empty()) return Status::NotFound("pop from empty stack");
+      uint64_t id = spilled_.back();
+      spilled_.pop_back();
+      buffer_.resize(items_per_block_);
+      VEM_RETURN_IF_ERROR(dev_->Read(id, buffer_.data()));
+      dev_->Free(id);
+    }
+    *out = buffer_.back();
+    buffer_.pop_back();
+    return Status::OK();
+  }
+
+  /// Peek the top item; NotFound when empty. May cost one read.
+  Status Top(T* out) {
+    VEM_RETURN_IF_ERROR(Pop(out));
+    buffer_.push_back(*out);
+    return Status::OK();
+  }
+
+ private:
+  BlockDevice* dev_;
+  size_t items_per_block_;
+  std::vector<T> buffer_;         // at most 2 blocks of items
+  std::vector<uint64_t> spilled_; // full blocks, oldest first
+};
+
+}  // namespace vem

@@ -1,0 +1,246 @@
+// ExtVector<T>: a blocked array of trivially-copyable items on a device.
+//
+// The fundamental external-memory sequence. Supports:
+//  - streaming append via Writer  (1 write per B items   => Scan bound)
+//  - streaming scan via Reader    (1 read per B items    => Scan bound)
+//  - random access via BufferPool (1 I/O per miss        => online access)
+//
+// Block-id metadata (O(N/B) words) lives in RAM, as in STXXL/TPIE.
+#pragma once
+
+#include <cstring>
+#include <memory>
+#include <type_traits>
+#include <vector>
+
+#include "io/block_device.h"
+#include "io/buffer_pool.h"
+#include "util/status.h"
+
+namespace vem {
+
+/// External-memory vector of fixed-size items.
+template <typename T>
+class ExtVector {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "ExtVector items must be trivially copyable");
+
+ public:
+  /// @param dev  backing device (not owned); block_size must hold >= 1 item.
+  /// @param pool optional buffer pool for random access Get/Set; streaming
+  ///             Reader/Writer never touch the pool.
+  explicit ExtVector(BlockDevice* dev, BufferPool* pool = nullptr)
+      : dev_(dev), pool_(pool),
+        items_per_block_(dev->block_size() / sizeof(T)) {}
+
+  ExtVector(ExtVector&& o) noexcept { *this = std::move(o); }
+  ExtVector& operator=(ExtVector&& o) noexcept {
+    Destroy();
+    dev_ = o.dev_;
+    pool_ = o.pool_;
+    items_per_block_ = o.items_per_block_;
+    blocks_ = std::move(o.blocks_);
+    size_ = o.size_;
+    o.blocks_.clear();
+    o.size_ = 0;
+    return *this;
+  }
+  ExtVector(const ExtVector&) = delete;
+  ExtVector& operator=(const ExtVector&) = delete;
+
+  ~ExtVector() { Destroy(); }
+
+  /// Free all device blocks; the vector becomes empty.
+  void Destroy() {
+    if (dev_ == nullptr) return;
+    for (uint64_t id : blocks_) {
+      if (pool_ != nullptr) pool_->Evict(id);
+      dev_->Free(id);
+    }
+    blocks_.clear();
+    size_ = 0;
+  }
+
+  /// Detach the buffer pool, e.g. when the vector outlives a temporary
+  /// pool. The caller must FlushAll() that pool first so no dirty pages
+  /// are lost; afterwards only streaming access works until a new owner
+  /// re-wraps the vector.
+  void DetachPool() { pool_ = nullptr; }
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  size_t items_per_block() const { return items_per_block_; }
+  size_t num_blocks() const { return blocks_.size(); }
+  BlockDevice* device() const { return dev_; }
+  BufferPool* pool() const { return pool_; }
+
+  /// Random read of item i through the buffer pool (pool required).
+  Status Get(size_t i, T* out) const {
+    if (pool_ == nullptr)
+      return Status::InvalidArgument("ExtVector::Get requires a BufferPool");
+    if (i >= size_) return Status::InvalidArgument("Get out of range");
+    PageRef page;
+    VEM_RETURN_IF_ERROR(
+        PageRef::Acquire(pool_, blocks_[i / items_per_block_], &page));
+    std::memcpy(out, page.data() + (i % items_per_block_) * sizeof(T),
+                sizeof(T));
+    return Status::OK();
+  }
+
+  /// Random write of item i through the buffer pool (pool required).
+  Status Set(size_t i, const T& value) {
+    if (pool_ == nullptr)
+      return Status::InvalidArgument("ExtVector::Set requires a BufferPool");
+    if (i >= size_) return Status::InvalidArgument("Set out of range");
+    PageRef page;
+    VEM_RETURN_IF_ERROR(
+        PageRef::Acquire(pool_, blocks_[i / items_per_block_], &page));
+    std::memcpy(page.data() + (i % items_per_block_) * sizeof(T), &value,
+                sizeof(T));
+    page.MarkDirty();
+    return Status::OK();
+  }
+
+  /// Sequential writer. Owns one block of buffer memory; costs one device
+  /// write per full block plus one for the final partial block.
+  class Writer {
+   public:
+    explicit Writer(ExtVector* vec)
+        : vec_(vec), buf_(new char[vec->dev_->block_size()]) {
+      // Appending to a non-block-aligned tail requires re-reading it; the
+      // tail block id is kept and rewritten in place by the next flush.
+      size_t rem = vec_->size_ % vec_->items_per_block_;
+      if (rem != 0) {
+        pending_id_ = vec_->blocks_.back();
+        vec_->blocks_.pop_back();
+        status_ = vec_->dev_->Read(pending_id_, buf_.get());
+        fill_ = rem;
+        has_pending_id_ = true;
+      }
+    }
+
+    /// Append one item; returns false on device error (see status()).
+    bool Append(const T& v) {
+      if (!status_.ok()) return false;
+      std::memcpy(buf_.get() + fill_ * sizeof(T), &v, sizeof(T));
+      fill_++;
+      vec_->size_++;
+      if (fill_ == vec_->items_per_block_) {
+        status_ = FlushBlock();
+        return status_.ok();
+      }
+      return true;
+    }
+
+    /// Flush the trailing partial block. Must be called before reading.
+    Status Finish() {
+      if (status_.ok() && fill_ > 0) {
+        // Zero the tail so never-written bytes are defined.
+        std::memset(buf_.get() + fill_ * sizeof(T), 0,
+                    vec_->dev_->block_size() - fill_ * sizeof(T));
+        status_ = FlushBlock();
+      }
+      return status_;
+    }
+
+    Status status() const { return status_; }
+
+   private:
+    Status FlushBlock() {
+      uint64_t id = has_pending_id_ ? pending_id_ : vec_->dev_->Allocate();
+      has_pending_id_ = false;
+      VEM_RETURN_IF_ERROR(vec_->dev_->Write(id, buf_.get()));
+      vec_->blocks_.push_back(id);
+      fill_ = 0;
+      return Status::OK();
+    }
+
+    ExtVector* vec_;
+    std::unique_ptr<char[]> buf_;
+    size_t fill_ = 0;
+    Status status_;
+    bool has_pending_id_ = false;
+    uint64_t pending_id_ = 0;
+  };
+
+  /// Sequential reader over [start, size). Owns one block of buffer memory;
+  /// costs one device read per block touched.
+  class Reader {
+   public:
+    explicit Reader(const ExtVector* vec, size_t start = 0)
+        : vec_(vec), pos_(start),
+          buf_(new char[vec->dev_->block_size()]) {}
+
+    /// Read the next item into *out; returns false at end or on error.
+    bool Next(T* out) {
+      if (!status_.ok() || pos_ >= vec_->size_) return false;
+      size_t blk = pos_ / vec_->items_per_block_;
+      if (!buf_valid_ || blk != cur_block_) {
+        status_ = vec_->dev_->Read(vec_->blocks_[blk], buf_.get());
+        if (!status_.ok()) return false;
+        cur_block_ = blk;
+        buf_valid_ = true;
+      }
+      std::memcpy(out, buf_.get() + (pos_ % vec_->items_per_block_) * sizeof(T),
+                  sizeof(T));
+      pos_++;
+      return true;
+    }
+
+    /// Peek without consuming; returns false at end or on error.
+    bool Peek(T* out) {
+      size_t save = pos_;
+      bool ok = Next(out);
+      pos_ = save;
+      return ok;
+    }
+
+    size_t position() const { return pos_; }
+    bool exhausted() const { return pos_ >= vec_->size_; }
+    Status status() const { return status_; }
+
+    /// Reposition the reader. Free within the buffered block; otherwise
+    /// the next Next() reads the target block (1 I/O).
+    void Seek(size_t pos) { pos_ = pos; }
+
+   private:
+    const ExtVector* vec_;
+    size_t pos_;
+    std::unique_ptr<char[]> buf_;
+    size_t cur_block_ = 0;
+    bool buf_valid_ = false;
+    Status status_;
+  };
+
+  /// Convenience: bulk-load from an in-memory span (test helper; still
+  /// performs the blocked writes, so I/O accounting is honest).
+  Status AppendAll(const T* data, size_t n) {
+    Writer w(this);
+    for (size_t i = 0; i < n; ++i) {
+      if (!w.Append(data[i])) return w.status();
+    }
+    return w.Finish();
+  }
+
+  /// Convenience: read everything into an in-memory vector (test helper).
+  Status ReadAll(std::vector<T>* out) const {
+    out->clear();
+    out->reserve(size_);
+    Reader r(this);
+    T item;
+    while (r.Next(&item)) out->push_back(item);
+    return r.status();
+  }
+
+ private:
+  friend class Writer;
+  friend class Reader;
+
+  BlockDevice* dev_ = nullptr;
+  BufferPool* pool_ = nullptr;
+  size_t items_per_block_ = 0;
+  std::vector<uint64_t> blocks_;
+  size_t size_ = 0;
+};
+
+}  // namespace vem

@@ -1,0 +1,127 @@
+// Batched set operations on sorted streams — Scan-bounded primitives.
+//
+// Union / intersection / difference / merge of sorted ExtVectors in one
+// co-scan each, Θ((|A|+|B|)/B) I/Os. These are the survey's "batched
+// problems solved by sorting" in their simplest form, and the building
+// blocks the database examples use (merge join = intersection with
+// payload).
+#pragma once
+
+#include "core/ext_vector.h"
+#include "util/status.h"
+
+namespace vem {
+
+/// Merge two sorted vectors into one sorted vector (duplicates kept).
+template <typename T, typename Cmp = std::less<T>>
+Status SortedMerge(const ExtVector<T>& a, const ExtVector<T>& b,
+                   ExtVector<T>* out, Cmp cmp = Cmp()) {
+  typename ExtVector<T>::Reader ra(&a), rb(&b);
+  typename ExtVector<T>::Writer w(out);
+  T va, vb;
+  bool ha = ra.Next(&va), hb = rb.Next(&vb);
+  while (ha || hb) {
+    bool take_a = ha && (!hb || !cmp(vb, va));
+    if (take_a) {
+      if (!w.Append(va)) return w.status();
+      ha = ra.Next(&va);
+    } else {
+      if (!w.Append(vb)) return w.status();
+      hb = rb.Next(&vb);
+    }
+  }
+  VEM_RETURN_IF_ERROR(ra.status());
+  VEM_RETURN_IF_ERROR(rb.status());
+  return w.Finish();
+}
+
+/// Set union of two sorted, duplicate-free vectors.
+template <typename T, typename Cmp = std::less<T>>
+Status SortedUnion(const ExtVector<T>& a, const ExtVector<T>& b,
+                   ExtVector<T>* out, Cmp cmp = Cmp()) {
+  typename ExtVector<T>::Reader ra(&a), rb(&b);
+  typename ExtVector<T>::Writer w(out);
+  T va, vb;
+  bool ha = ra.Next(&va), hb = rb.Next(&vb);
+  while (ha || hb) {
+    if (ha && hb && !cmp(va, vb) && !cmp(vb, va)) {  // equal: emit once
+      if (!w.Append(va)) return w.status();
+      ha = ra.Next(&va);
+      hb = rb.Next(&vb);
+    } else if (ha && (!hb || cmp(va, vb))) {
+      if (!w.Append(va)) return w.status();
+      ha = ra.Next(&va);
+    } else {
+      if (!w.Append(vb)) return w.status();
+      hb = rb.Next(&vb);
+    }
+  }
+  VEM_RETURN_IF_ERROR(ra.status());
+  VEM_RETURN_IF_ERROR(rb.status());
+  return w.Finish();
+}
+
+/// Set intersection of two sorted, duplicate-free vectors.
+template <typename T, typename Cmp = std::less<T>>
+Status SortedIntersection(const ExtVector<T>& a, const ExtVector<T>& b,
+                          ExtVector<T>* out, Cmp cmp = Cmp()) {
+  typename ExtVector<T>::Reader ra(&a), rb(&b);
+  typename ExtVector<T>::Writer w(out);
+  T va, vb;
+  bool ha = ra.Next(&va), hb = rb.Next(&vb);
+  while (ha && hb) {
+    if (cmp(va, vb)) {
+      ha = ra.Next(&va);
+    } else if (cmp(vb, va)) {
+      hb = rb.Next(&vb);
+    } else {
+      if (!w.Append(va)) return w.status();
+      ha = ra.Next(&va);
+      hb = rb.Next(&vb);
+    }
+  }
+  VEM_RETURN_IF_ERROR(ra.status());
+  VEM_RETURN_IF_ERROR(rb.status());
+  return w.Finish();
+}
+
+/// Set difference A \ B of two sorted, duplicate-free vectors.
+template <typename T, typename Cmp = std::less<T>>
+Status SortedDifference(const ExtVector<T>& a, const ExtVector<T>& b,
+                        ExtVector<T>* out, Cmp cmp = Cmp()) {
+  typename ExtVector<T>::Reader ra(&a), rb(&b);
+  typename ExtVector<T>::Writer w(out);
+  T va, vb;
+  bool ha = ra.Next(&va), hb = rb.Next(&vb);
+  while (ha) {
+    while (hb && cmp(vb, va)) hb = rb.Next(&vb);
+    bool in_b = hb && !cmp(va, vb) && !cmp(vb, va);
+    if (!in_b) {
+      if (!w.Append(va)) return w.status();
+    }
+    ha = ra.Next(&va);
+  }
+  VEM_RETURN_IF_ERROR(ra.status());
+  VEM_RETURN_IF_ERROR(rb.status());
+  return w.Finish();
+}
+
+/// Remove adjacent duplicates from a sorted vector.
+template <typename T, typename Cmp = std::less<T>>
+Status SortedUnique(const ExtVector<T>& a, ExtVector<T>* out, Cmp cmp = Cmp()) {
+  typename ExtVector<T>::Reader r(&a);
+  typename ExtVector<T>::Writer w(out);
+  T v, prev{};
+  bool first = true;
+  while (r.Next(&v)) {
+    if (first || cmp(prev, v) || cmp(v, prev)) {
+      if (!w.Append(v)) return w.status();
+      prev = v;
+      first = false;
+    }
+  }
+  VEM_RETURN_IF_ERROR(r.status());
+  return w.Finish();
+}
+
+}  // namespace vem

@@ -1,0 +1,393 @@
+// Orthogonal segment intersection by distribution sweep —
+// O(Sort(N) + Z/B) I/Os (survey §computational geometry; Goodrich, Tsay,
+// Vengroff, Vitter's flagship batched-geometry technique).
+//
+// Report all (horizontal, vertical) crossing pairs (closed segments;
+// endpoint touching counts). The plane is cut into k = Θ(m) x-strips by
+// sampled vertical-segment abscissae; a single top-down y-sweep processes
+// events in decreasing y:
+//  - a vertical segment is appended to its strip's active list when the
+//    sweep reaches its top;
+//  - a horizontal segment reports against the active lists of all strips
+//    it spans COMPLETELY: every element scanned is either reported (an
+//    intersection, charged to output) or expired (removed, charged once);
+//  - the non-spanned end pieces of horizontals, and all verticals, recurse
+//    into their strips.
+// Base cases: events fit in memory (in-RAM sweep), all verticals share
+// one x (single active list).
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+#include <vector>
+
+#include "core/ext_vector.h"
+#include "io/block_device.h"
+#include "sort/external_sort.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace vem {
+
+/// Horizontal segment [x1,x2] at height y.
+struct HSegment {
+  double y, x1, x2;
+  uint64_t id;
+};
+
+/// Vertical segment [y1,y2] at abscissa x (y1 <= y2).
+struct VSegment {
+  double x, y1, y2;
+  uint64_t id;
+};
+
+/// Reported intersection pair.
+struct IntersectionPair {
+  uint64_t h_id, v_id;
+  bool operator<(const IntersectionPair& o) const {
+    return h_id != o.h_id ? h_id < o.h_id : v_id < o.v_id;
+  }
+  bool operator==(const IntersectionPair& o) const = default;
+};
+
+/// Distribution-sweep intersection reporter.
+class OrthogonalSegmentIntersection {
+ public:
+  OrthogonalSegmentIntersection(BlockDevice* dev, size_t memory_budget_bytes,
+                                uint64_t seed = 0x6E0)
+      : dev_(dev), memory_budget_(memory_budget_bytes), rng_(seed) {}
+
+  /// Recursion depth of the last Run (tests).
+  size_t max_depth() const { return max_depth_; }
+
+  Status Run(const ExtVector<HSegment>& hs, const ExtVector<VSegment>& vs,
+             ExtVector<IntersectionPair>* out) {
+    max_depth_ = 0;
+    typename ExtVector<IntersectionPair>::Writer w(out);
+    // Copy inputs into the recursion's working sets.
+    ExtVector<HSegment> h(dev_);
+    ExtVector<VSegment> v(dev_);
+    VEM_RETURN_IF_ERROR(Copy(hs, &h));
+    VEM_RETURN_IF_ERROR(Copy(vs, &v));
+    VEM_RETURN_IF_ERROR(Solve(std::move(h), std::move(v), &w, 1,
+                              /*presorted=*/false));
+    return w.Finish();
+  }
+
+ private:
+  static constexpr double kInf = std::numeric_limits<double>::infinity();
+
+  template <typename T>
+  Status Copy(const ExtVector<T>& in, ExtVector<T>* out) {
+    typename ExtVector<T>::Reader r(&in);
+    typename ExtVector<T>::Writer w(out);
+    T item;
+    while (r.Next(&item)) {
+      if (!w.Append(item)) return w.status();
+    }
+    VEM_RETURN_IF_ERROR(r.status());
+    return w.Finish();
+  }
+
+  size_t fan_out() const {
+    size_t m = memory_budget_ / dev_->block_size();
+    return std::max<size_t>(2, m / 4);
+  }
+
+  size_t memory_items() const {
+    return memory_budget_ / (sizeof(HSegment) + sizeof(VSegment));
+  }
+
+  /// `presorted`: h is already in decreasing-y order and v in
+  /// decreasing-top order. Children inherit sweep order, so only the
+  /// top-level call pays the two sorts — one Sort(N) total, then scans.
+  Status Solve(ExtVector<HSegment> h, ExtVector<VSegment> v,
+               typename ExtVector<IntersectionPair>::Writer* out,
+               size_t depth, bool presorted) {
+    max_depth_ = std::max(max_depth_, depth);
+    if (v.size() == 0 || h.size() == 0) return Status::OK();
+    if (h.size() + v.size() <= memory_items()) {
+      return SolveInMemory(h, v, out);
+    }
+    // Scan verticals: min/max x + reservoir sample of abscissae.
+    const size_t k = fan_out();
+    double min_x = kInf, max_x = -kInf;
+    std::vector<double> sample;
+    {
+      const size_t target = 4 * k;
+      typename ExtVector<VSegment>::Reader r(&v);
+      VSegment s;
+      size_t seen = 0;
+      while (r.Next(&s)) {
+        min_x = std::min(min_x, s.x);
+        max_x = std::max(max_x, s.x);
+        seen++;
+        if (sample.size() < target) {
+          sample.push_back(s.x);
+        } else {
+          size_t j = rng_.Uniform(seen);
+          if (j < target) sample[j] = s.x;
+        }
+      }
+      VEM_RETURN_IF_ERROR(r.status());
+    }
+    if (min_x == max_x) return SolveUniformX(h, v, min_x, out, presorted);
+    std::sort(sample.begin(), sample.end());
+    std::vector<double> splitters;
+    for (size_t i = 4; i < sample.size(); i += 4) {
+      if (splitters.empty() || splitters.back() < sample[i]) {
+        splitters.push_back(sample[i]);
+      }
+      if (splitters.size() == k - 1) break;
+    }
+    // Degenerate sample: force progress by bisecting the value range.
+    if (splitters.empty()) splitters.push_back((min_x + max_x) / 2);
+    // Drop splitters equal to min_x (left strip would repeat the parent).
+    while (!splitters.empty() && splitters.front() <= min_x) {
+      splitters.erase(splitters.begin());
+    }
+    if (splitters.empty()) splitters.push_back((min_x + max_x) / 2);
+    const size_t strips = splitters.size() + 1;
+
+    // Strip s covers [bound(s-1), bound(s)) with bound(-1)=-inf.
+    auto strip_of = [&](double x) {
+      return static_cast<size_t>(
+          std::upper_bound(splitters.begin(), splitters.end(), x) -
+          splitters.begin());
+    };
+    auto strip_lo = [&](size_t s) {
+      return s == 0 ? -kInf : splitters[s - 1];
+    };
+    auto strip_hi = [&](size_t s) {
+      return s == strips - 1 ? kInf : splitters[s];
+    };
+
+    // Child working sets + per-strip active lists.
+    std::vector<ExtVector<HSegment>> child_h;
+    std::vector<ExtVector<VSegment>> child_v;
+    std::vector<ExtVector<VSegment>> active;  // verticals, top-sorted
+    for (size_t s = 0; s < strips; ++s) {
+      child_h.emplace_back(dev_);
+      child_v.emplace_back(dev_);
+      active.emplace_back(dev_);
+    }
+
+    // Event stream: merge H and V sorted by decreasing y (V keyed by top).
+    auto h_by_y = [](const HSegment& a, const HSegment& b) {
+      return a.y > b.y;
+    };
+    auto v_by_top = [](const VSegment& a, const VSegment& b) {
+      return a.y2 > b.y2;
+    };
+    ExtVector<HSegment> hs_sorted(dev_);
+    ExtVector<VSegment> vs_sorted(dev_);
+    if (presorted) {
+      hs_sorted = std::move(h);
+      vs_sorted = std::move(v);
+    } else {
+      VEM_RETURN_IF_ERROR(ExternalSort<HSegment, decltype(h_by_y)>(
+          h, &hs_sorted, memory_budget_, h_by_y));
+      VEM_RETURN_IF_ERROR(ExternalSort<VSegment, decltype(v_by_top)>(
+          v, &vs_sorted, memory_budget_, v_by_top));
+      h.Destroy();
+      v.Destroy();
+    }
+
+    {
+      // Persistent writers: one block buffer per strip per stream, well
+      // within M for k = m/4. Active-list writers are finished (and
+      // reopened) only when a spanning horizontal needs to scan the list.
+      std::vector<std::unique_ptr<typename ExtVector<HSegment>::Writer>> hw;
+      std::vector<std::unique_ptr<typename ExtVector<VSegment>::Writer>> vw;
+      std::vector<std::unique_ptr<typename ExtVector<VSegment>::Writer>> aw;
+      for (size_t s = 0; s < strips; ++s) {
+        hw.push_back(std::make_unique<typename ExtVector<HSegment>::Writer>(
+            &child_h[s]));
+        vw.push_back(std::make_unique<typename ExtVector<VSegment>::Writer>(
+            &child_v[s]));
+        aw.push_back(std::make_unique<typename ExtVector<VSegment>::Writer>(
+            &active[s]));
+      }
+      typename ExtVector<HSegment>::Reader hr(&hs_sorted);
+      typename ExtVector<VSegment>::Reader vr(&vs_sorted);
+      HSegment he;
+      VSegment ve;
+      bool have_h = hr.Next(&he), have_v = vr.Next(&ve);
+      while (have_h || have_v) {
+        // V tops at equal y go first so endpoint touching is reported.
+        bool take_v = have_v && (!have_h || ve.y2 >= he.y);
+        if (take_v) {
+          size_t s = strip_of(ve.x);
+          if (!aw[s]->Append(ve)) return aw[s]->status();
+          if (!vw[s]->Append(ve)) return vw[s]->status();
+          have_v = vr.Next(&ve);
+          continue;
+        }
+        // Horizontal event: report against fully spanned strips, pass
+        // end pieces down.
+        size_t s_lo = strip_of(he.x1), s_hi = strip_of(he.x2);
+        for (size_t s = s_lo; s <= s_hi; ++s) {
+          bool spans = he.x1 <= strip_lo(s) && strip_hi(s) <= he.x2;
+          if (spans) {
+            VEM_RETURN_IF_ERROR(aw[s]->Finish());
+            aw[s].reset();
+            VEM_RETURN_IF_ERROR(ScanActive(&active[s], he, out));
+            aw[s] = std::make_unique<typename ExtVector<VSegment>::Writer>(
+                &active[s]);
+          } else {
+            // End piece: clip and recurse.
+            HSegment piece = he;
+            piece.x1 = std::max(he.x1, strip_lo(s));
+            piece.x2 = std::min(he.x2, strip_hi(s));
+            if (!hw[s]->Append(piece)) return hw[s]->status();
+          }
+        }
+        have_h = hr.Next(&he);
+      }
+      VEM_RETURN_IF_ERROR(hr.status());
+      VEM_RETURN_IF_ERROR(vr.status());
+      for (size_t s = 0; s < strips; ++s) {
+        VEM_RETURN_IF_ERROR(hw[s]->Finish());
+        VEM_RETURN_IF_ERROR(vw[s]->Finish());
+        VEM_RETURN_IF_ERROR(aw[s]->Finish());
+      }
+    }
+    hs_sorted.Destroy();
+    vs_sorted.Destroy();
+    for (auto& a : active) a.Destroy();
+
+    for (size_t s = 0; s < strips; ++s) {
+      VEM_RETURN_IF_ERROR(Solve(std::move(child_h[s]), std::move(child_v[s]),
+                                out, depth + 1, /*presorted=*/true));
+    }
+    return Status::OK();
+  }
+
+  /// Scan one strip's active list at horizontal `he`: report the live
+  /// verticals, compact away the expired ones (bottom above he.y).
+  Status ScanActive(ExtVector<VSegment>* active, const HSegment& he,
+                    typename ExtVector<IntersectionPair>::Writer* out) {
+    if (active->size() == 0) return Status::OK();
+    ExtVector<VSegment> survivors(dev_);
+    {
+      typename ExtVector<VSegment>::Reader r(active);
+      typename ExtVector<VSegment>::Writer w(&survivors);
+      VSegment ve;
+      while (r.Next(&ve)) {
+        if (ve.y1 > he.y) continue;  // expired: sweep passed its bottom
+        if (!out->Append(IntersectionPair{he.id, ve.id})) {
+          return out->status();
+        }
+        if (!w.Append(ve)) return w.status();
+      }
+      VEM_RETURN_IF_ERROR(r.status());
+      VEM_RETURN_IF_ERROR(w.Finish());
+    }
+    *active = std::move(survivors);
+    return Status::OK();
+  }
+
+  /// All verticals share abscissa x: one active list, no strips.
+  Status SolveUniformX(ExtVector<HSegment>& h, ExtVector<VSegment>& v,
+                       double x,
+                       typename ExtVector<IntersectionPair>::Writer* out,
+                       bool presorted) {
+    auto h_by_y = [](const HSegment& a, const HSegment& b) {
+      return a.y > b.y;
+    };
+    auto v_by_top = [](const VSegment& a, const VSegment& b) {
+      return a.y2 > b.y2;
+    };
+    ExtVector<HSegment> hs_sorted(dev_);
+    ExtVector<VSegment> vs_sorted(dev_);
+    if (presorted) {
+      hs_sorted = std::move(h);
+      vs_sorted = std::move(v);
+    } else {
+      VEM_RETURN_IF_ERROR(ExternalSort<HSegment, decltype(h_by_y)>(
+          h, &hs_sorted, memory_budget_, h_by_y));
+      VEM_RETURN_IF_ERROR(ExternalSort<VSegment, decltype(v_by_top)>(
+          v, &vs_sorted, memory_budget_, v_by_top));
+    }
+    ExtVector<VSegment> active(dev_);
+    auto aw = std::make_unique<typename ExtVector<VSegment>::Writer>(&active);
+    typename ExtVector<HSegment>::Reader hr(&hs_sorted);
+    typename ExtVector<VSegment>::Reader vr(&vs_sorted);
+    HSegment he;
+    VSegment ve;
+    bool have_h = hr.Next(&he), have_v = vr.Next(&ve);
+    while (have_h || have_v) {
+      bool take_v = have_v && (!have_h || ve.y2 >= he.y);
+      if (take_v) {
+        if (!aw->Append(ve)) return aw->status();
+        have_v = vr.Next(&ve);
+        continue;
+      }
+      if (he.x1 <= x && x <= he.x2) {
+        VEM_RETURN_IF_ERROR(aw->Finish());
+        aw.reset();
+        VEM_RETURN_IF_ERROR(ScanActive(&active, he, out));
+        aw = std::make_unique<typename ExtVector<VSegment>::Writer>(&active);
+      }
+      have_h = hr.Next(&he);
+    }
+    VEM_RETURN_IF_ERROR(hr.status());
+    VEM_RETURN_IF_ERROR(vr.status());
+    return Status::OK();
+  }
+
+  /// In-RAM sweep base case (std::multimap active structure).
+  Status SolveInMemory(const ExtVector<HSegment>& h,
+                       const ExtVector<VSegment>& v,
+                       typename ExtVector<IntersectionPair>::Writer* out) {
+    std::vector<HSegment> hs;
+    std::vector<VSegment> vs;
+    VEM_RETURN_IF_ERROR(h.ReadAll(&hs));
+    VEM_RETURN_IF_ERROR(v.ReadAll(&vs));
+    // Events: 0 = V insert (at top), 1 = H query, 2 = V erase (below
+    // bottom). Process by y descending; ties: insert, query, erase.
+    struct Event {
+      double y;
+      int type;
+      size_t idx;
+    };
+    std::vector<Event> events;
+    events.reserve(hs.size() + 2 * vs.size());
+    for (size_t i = 0; i < vs.size(); ++i) {
+      events.push_back({vs[i].y2, 0, i});
+      events.push_back({vs[i].y1, 2, i});
+    }
+    for (size_t i = 0; i < hs.size(); ++i) events.push_back({hs[i].y, 1, i});
+    std::sort(events.begin(), events.end(), [](const Event& a, const Event& b) {
+      if (a.y != b.y) return a.y > b.y;
+      return a.type < b.type;
+    });
+    std::multimap<double, size_t> act;  // x -> vertical index
+    std::vector<std::multimap<double, size_t>::iterator> handles(vs.size());
+    for (const Event& e : events) {
+      if (e.type == 0) {
+        handles[e.idx] = act.insert({vs[e.idx].x, e.idx});
+      } else if (e.type == 2) {
+        act.erase(handles[e.idx]);
+      } else {
+        const HSegment& seg = hs[e.idx];
+        for (auto it = act.lower_bound(seg.x1);
+             it != act.end() && it->first <= seg.x2; ++it) {
+          if (!out->Append(IntersectionPair{seg.id, vs[it->second].id})) {
+            return out->status();
+          }
+        }
+      }
+    }
+    return Status::OK();
+  }
+
+  BlockDevice* dev_;
+  size_t memory_budget_;
+  Rng rng_;
+  size_t max_depth_ = 0;
+};
+
+}  // namespace vem

@@ -1,0 +1,60 @@
+// BlockDevice: the disk abstraction of the Parallel Disk Model.
+//
+// A device owns a growable set of fixed-size blocks addressed by id.
+// Reads and writes transfer whole blocks and are counted in IoStats;
+// the counters ARE the cost model. Algorithms never touch bytes on
+// "disk" except through Read/Write here (directly, via streams, or via
+// the BufferPool), so measured I/O counts are exact.
+#pragma once
+
+#include <cstdint>
+
+#include "io/io_stats.h"
+#include "util/status.h"
+
+namespace vem {
+
+/// Abstract block-granular storage device with block allocation.
+class BlockDevice {
+ public:
+  virtual ~BlockDevice() = default;
+
+  /// Bytes per block (the PDM B, in bytes).
+  virtual size_t block_size() const = 0;
+
+  /// Read block `id` into `buf` (must hold block_size() bytes).
+  virtual Status Read(uint64_t id, void* buf) = 0;
+
+  /// Write block `id` from `buf` (must hold block_size() bytes).
+  virtual Status Write(uint64_t id, const void* buf) = 0;
+
+  /// Allocate a fresh block id (contents undefined until written).
+  virtual uint64_t Allocate() = 0;
+
+  /// Return a block id to the free list.
+  virtual void Free(uint64_t id) = 0;
+
+  /// Number of live (allocated, not freed) blocks.
+  virtual uint64_t num_allocated() const = 0;
+
+  /// I/O accounting for this device.
+  IoStats& stats() { return stats_; }
+  const IoStats& stats() const { return stats_; }
+
+ protected:
+  IoStats stats_;
+};
+
+/// RAII probe: captures a device's counters on construction; delta() gives
+/// the I/O cost of the enclosed code region. Used throughout tests/benches.
+class IoProbe {
+ public:
+  explicit IoProbe(const BlockDevice& dev) : dev_(dev), start_(dev.stats()) {}
+  IoStats delta() const { return dev_.stats() - start_; }
+
+ private:
+  const BlockDevice& dev_;
+  IoStats start_;
+};
+
+}  // namespace vem

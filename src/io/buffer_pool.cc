@@ -1,0 +1,122 @@
+#include "io/buffer_pool.h"
+
+#include <cstring>
+
+namespace vem {
+
+BufferPool::BufferPool(BlockDevice* dev, size_t num_frames) : dev_(dev) {
+  if (num_frames == 0) num_frames = 1;
+  frames_.resize(num_frames);
+  for (auto& f : frames_) {
+    f.data = std::make_unique<char[]>(dev_->block_size());
+  }
+}
+
+BufferPool::~BufferPool() {
+  // Best-effort write-back; errors are unreportable from a destructor.
+  (void)FlushAll();
+}
+
+Status BufferPool::FindVictim(size_t* out) {
+  // First pass preference: an invalid (never used) frame.
+  for (size_t i = 0; i < frames_.size(); ++i) {
+    if (!frames_[i].valid) {
+      *out = i;
+      return Status::OK();
+    }
+  }
+  // CLOCK sweep; 2 * frames passes guarantee termination if anything is
+  // unpinned (first pass clears reference bits).
+  for (size_t step = 0; step < 2 * frames_.size(); ++step) {
+    Frame& f = frames_[clock_hand_];
+    size_t idx = clock_hand_;
+    clock_hand_ = (clock_hand_ + 1) % frames_.size();
+    if (f.pin_count > 0) continue;
+    if (f.referenced) {
+      f.referenced = false;
+      continue;
+    }
+    if (f.dirty) {
+      VEM_RETURN_IF_ERROR(dev_->Write(f.block_id, f.data.get()));
+      f.dirty = false;
+    }
+    table_.erase(f.block_id);
+    f.valid = false;
+    *out = idx;
+    return Status::OK();
+  }
+  return Status::OutOfMemory("all " + std::to_string(frames_.size()) +
+                             " buffer pool frames are pinned");
+}
+
+Status BufferPool::Pin(uint64_t id, char** data) {
+  auto it = table_.find(id);
+  if (it != table_.end()) {
+    Frame& f = frames_[it->second];
+    f.pin_count++;
+    f.referenced = true;
+    hits_++;
+    *data = f.data.get();
+    return Status::OK();
+  }
+  misses_++;
+  size_t idx;
+  VEM_RETURN_IF_ERROR(FindVictim(&idx));
+  Frame& f = frames_[idx];
+  VEM_RETURN_IF_ERROR(dev_->Read(id, f.data.get()));
+  f.block_id = id;
+  f.pin_count = 1;
+  f.dirty = false;
+  f.valid = true;
+  f.referenced = true;
+  table_[id] = idx;
+  *data = f.data.get();
+  return Status::OK();
+}
+
+Status BufferPool::PinNew(uint64_t* id, char** data) {
+  size_t idx;
+  VEM_RETURN_IF_ERROR(FindVictim(&idx));
+  uint64_t nid = dev_->Allocate();
+  Frame& f = frames_[idx];
+  std::memset(f.data.get(), 0, dev_->block_size());
+  f.block_id = nid;
+  f.pin_count = 1;
+  f.dirty = true;  // must reach the device eventually
+  f.valid = true;
+  f.referenced = true;
+  table_[nid] = idx;
+  *id = nid;
+  *data = f.data.get();
+  return Status::OK();
+}
+
+void BufferPool::Unpin(uint64_t id, bool dirty) {
+  auto it = table_.find(id);
+  if (it == table_.end()) return;
+  Frame& f = frames_[it->second];
+  if (f.pin_count > 0) f.pin_count--;
+  if (dirty) f.dirty = true;
+}
+
+Status BufferPool::FlushAll() {
+  for (auto& f : frames_) {
+    if (f.valid && f.dirty) {
+      VEM_RETURN_IF_ERROR(dev_->Write(f.block_id, f.data.get()));
+      f.dirty = false;
+    }
+  }
+  return Status::OK();
+}
+
+void BufferPool::Evict(uint64_t id) {
+  auto it = table_.find(id);
+  if (it == table_.end()) return;
+  Frame& f = frames_[it->second];
+  f.valid = false;
+  f.dirty = false;
+  f.pin_count = 0;
+  table_.erase(it);
+}
+
+}  // namespace vem

@@ -1,0 +1,125 @@
+// BufferPool: the internal-memory half of the PDM.
+//
+// A fixed set of m = M/B frames caches device blocks with CLOCK (second
+// chance) replacement. Online structures (B+-tree, buffer tree, ExtVector
+// random access) pin and unpin pages here; a pool miss costs exactly one
+// device read (plus a write if the victim is dirty) — which is how the
+// model charges them.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "io/block_device.h"
+#include "util/status.h"
+
+namespace vem {
+
+/// Fixed-capacity page cache over one BlockDevice.
+class BufferPool {
+ public:
+  /// @param dev backing device (not owned)
+  /// @param num_frames internal-memory capacity in blocks (PDM m = M/B);
+  ///        must be >= 1.
+  BufferPool(BlockDevice* dev, size_t num_frames);
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+  ~BufferPool();
+
+  /// Pin block `id`, fetching it from the device on a miss.
+  /// On success *data points at block_size() bytes valid until Unpin.
+  Status Pin(uint64_t id, char** data);
+
+  /// Allocate a fresh device block and pin it without reading (contents
+  /// zeroed). On success *id/*data are set.
+  Status PinNew(uint64_t* id, char** data);
+
+  /// Drop one pin on `id`; `dirty` marks the page for write-back.
+  void Unpin(uint64_t id, bool dirty);
+
+  /// Write back all dirty pages (pages stay cached).
+  Status FlushAll();
+
+  /// Drop `id` from the cache (no write-back) — pair with device Free()
+  /// when deallocating a block. No-op if not cached. Must be unpinned.
+  void Evict(uint64_t id);
+
+  /// Accessors used by tests and benches.
+  size_t num_frames() const { return frames_.size(); }
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+  BlockDevice* device() const { return dev_; }
+
+ private:
+  struct Frame {
+    uint64_t block_id = 0;
+    std::unique_ptr<char[]> data;
+    int pin_count = 0;
+    bool dirty = false;
+    bool valid = false;
+    bool referenced = false;
+  };
+
+  /// Find a victim frame via CLOCK; writes back if dirty. Returns frame
+  /// index or error if every frame is pinned.
+  Status FindVictim(size_t* out);
+
+  BlockDevice* dev_;
+  std::vector<Frame> frames_;
+  std::unordered_map<uint64_t, size_t> table_;  // block id -> frame
+  size_t clock_hand_ = 0;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+};
+
+/// RAII pin guard. Movable, not copyable.
+class PageRef {
+ public:
+  PageRef() = default;
+  PageRef(BufferPool* pool, uint64_t id, char* data)
+      : pool_(pool), id_(id), data_(data) {}
+  PageRef(PageRef&& o) noexcept { *this = std::move(o); }
+  PageRef& operator=(PageRef&& o) noexcept {
+    Release();
+    pool_ = o.pool_;
+    id_ = o.id_;
+    data_ = o.data_;
+    dirty_ = o.dirty_;
+    o.pool_ = nullptr;
+    return *this;
+  }
+  PageRef(const PageRef&) = delete;
+  PageRef& operator=(const PageRef&) = delete;
+  ~PageRef() { Release(); }
+
+  /// Acquire a pin on `id`.
+  static Status Acquire(BufferPool* pool, uint64_t id, PageRef* out) {
+    char* data = nullptr;
+    VEM_RETURN_IF_ERROR(pool->Pin(id, &data));
+    *out = PageRef(pool, id, data);
+    return Status::OK();
+  }
+
+  char* data() const { return data_; }
+  uint64_t id() const { return id_; }
+  bool valid() const { return pool_ != nullptr; }
+  void MarkDirty() { dirty_ = true; }
+
+  void Release() {
+    if (pool_ != nullptr) {
+      pool_->Unpin(id_, dirty_);
+      pool_ = nullptr;
+    }
+  }
+
+ private:
+  BufferPool* pool_ = nullptr;
+  uint64_t id_ = 0;
+  char* data_ = nullptr;
+  bool dirty_ = false;
+};
+
+}  // namespace vem

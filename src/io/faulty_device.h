@@ -1,0 +1,71 @@
+// FaultyBlockDevice: failure-injection wrapper for robustness testing.
+//
+// Wraps any BlockDevice and fails the k-th read and/or write with an
+// IOError. Tests use it to verify that every algorithm propagates device
+// errors as Status (no crash, no silent corruption) — the discipline the
+// RocksDB-style error model demands.
+#pragma once
+
+#include "io/block_device.h"
+
+namespace vem {
+
+/// Device wrapper that injects IOErrors on schedule.
+class FaultyBlockDevice final : public BlockDevice {
+ public:
+  static constexpr uint64_t kNever = ~0ull;
+
+  /// @param inner wrapped device (not owned)
+  /// @param fail_read_at fail the N-th read (1-based); kNever disables
+  /// @param fail_write_at fail the N-th write (1-based); kNever disables
+  FaultyBlockDevice(BlockDevice* inner, uint64_t fail_read_at = kNever,
+                    uint64_t fail_write_at = kNever)
+      : inner_(inner),
+        fail_read_at_(fail_read_at),
+        fail_write_at_(fail_write_at) {}
+
+  size_t block_size() const override { return inner_->block_size(); }
+
+  Status Read(uint64_t id, void* buf) override {
+    if (++reads_seen_ == fail_read_at_) {
+      return Status::IOError("injected read fault #" +
+                             std::to_string(reads_seen_));
+    }
+    Status s = inner_->Read(id, buf);
+    if (s.ok()) {
+      stats_.block_reads++;
+      stats_.parallel_reads++;
+      stats_.bytes_read += block_size();
+    }
+    return s;
+  }
+
+  Status Write(uint64_t id, const void* buf) override {
+    if (++writes_seen_ == fail_write_at_) {
+      return Status::IOError("injected write fault #" +
+                             std::to_string(writes_seen_));
+    }
+    Status s = inner_->Write(id, buf);
+    if (s.ok()) {
+      stats_.block_writes++;
+      stats_.parallel_writes++;
+      stats_.bytes_written += block_size();
+    }
+    return s;
+  }
+
+  uint64_t Allocate() override { return inner_->Allocate(); }
+  void Free(uint64_t id) override { inner_->Free(id); }
+  uint64_t num_allocated() const override { return inner_->num_allocated(); }
+
+  uint64_t reads_seen() const { return reads_seen_; }
+  uint64_t writes_seen() const { return writes_seen_; }
+
+ private:
+  BlockDevice* inner_;
+  uint64_t fail_read_at_, fail_write_at_;
+  uint64_t reads_seen_ = 0;
+  uint64_t writes_seen_ = 0;
+};
+
+}  // namespace vem

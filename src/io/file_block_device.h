@@ -1,0 +1,47 @@
+// FileBlockDevice: a real file-backed disk for laptop-scale benchmarks.
+//
+// Same interface and accounting as MemoryBlockDevice but blocks live in a
+// file accessed with pread/pwrite, so wall-clock benchmarks exercise the
+// actual storage stack (page cache effects included, as on any laptop).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "io/block_device.h"
+
+namespace vem {
+
+/// Disk blocks stored in a single file; block id -> byte offset id*B.
+class FileBlockDevice final : public BlockDevice {
+ public:
+  /// Creates/truncates `path`. The file is removed on destruction when
+  /// `unlink_on_close` is true (the default; benchmark scratch files).
+  FileBlockDevice(std::string path, size_t block_size,
+                  bool unlink_on_close = true);
+  ~FileBlockDevice() override;
+
+  FileBlockDevice(const FileBlockDevice&) = delete;
+  FileBlockDevice& operator=(const FileBlockDevice&) = delete;
+
+  /// True if the file was opened successfully; all ops fail otherwise.
+  bool valid() const { return fd_ >= 0; }
+
+  size_t block_size() const override { return block_size_; }
+  Status Read(uint64_t id, void* buf) override;
+  Status Write(uint64_t id, const void* buf) override;
+  uint64_t Allocate() override;
+  void Free(uint64_t id) override;
+  uint64_t num_allocated() const override { return allocated_; }
+
+ private:
+  std::string path_;
+  size_t block_size_;
+  bool unlink_on_close_;
+  int fd_ = -1;
+  uint64_t next_id_ = 0;
+  std::vector<uint64_t> free_list_;
+  uint64_t allocated_ = 0;
+};
+
+}  // namespace vem

@@ -1,0 +1,48 @@
+// IoStats: exact I/O accounting — the PDM cost function made measurable.
+//
+// Every BlockDevice increments these counters. Benchmarks compare the
+// counter values against the survey's theoretical bounds; tests assert
+// on them to verify I/O complexity, not just correctness.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace vem {
+
+/// Counters for one device. "Parallel" I/Os model one PDM I/O step: for a
+/// single disk they equal block I/Os; for a StripedDevice over D disks one
+/// logical (striped) transfer of D physical blocks counts as one parallel
+/// I/O. This is exactly the "disk striping" accounting in the survey.
+struct IoStats {
+  uint64_t block_reads = 0;      ///< physical blocks read
+  uint64_t block_writes = 0;     ///< physical blocks written
+  uint64_t parallel_reads = 0;   ///< PDM read steps (<= block_reads)
+  uint64_t parallel_writes = 0;  ///< PDM write steps (<= block_writes)
+  uint64_t bytes_read = 0;
+  uint64_t bytes_written = 0;
+
+  uint64_t block_ios() const { return block_reads + block_writes; }
+  uint64_t parallel_ios() const { return parallel_reads + parallel_writes; }
+
+  void Reset() { *this = IoStats{}; }
+
+  IoStats operator-(const IoStats& o) const {
+    IoStats r;
+    r.block_reads = block_reads - o.block_reads;
+    r.block_writes = block_writes - o.block_writes;
+    r.parallel_reads = parallel_reads - o.parallel_reads;
+    r.parallel_writes = parallel_writes - o.parallel_writes;
+    r.bytes_read = bytes_read - o.bytes_read;
+    r.bytes_written = bytes_written - o.bytes_written;
+    return r;
+  }
+
+  std::string ToString() const {
+    return "reads=" + std::to_string(block_reads) +
+           " writes=" + std::to_string(block_writes) +
+           " parallel=" + std::to_string(parallel_ios());
+  }
+};
+
+}  // namespace vem

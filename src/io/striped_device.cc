@@ -1,0 +1,53 @@
+#include "io/striped_device.h"
+
+namespace vem {
+
+StripedDevice::StripedDevice(size_t num_disks, size_t child_block_size)
+    : logical_block_size_(num_disks * child_block_size),
+      child_block_size_(child_block_size) {
+  disks_.reserve(num_disks);
+  for (size_t d = 0; d < num_disks; ++d) {
+    disks_.push_back(std::make_unique<MemoryBlockDevice>(child_block_size));
+  }
+}
+
+Status StripedDevice::Read(uint64_t id, void* buf) {
+  char* out = static_cast<char*>(buf);
+  for (size_t d = 0; d < disks_.size(); ++d) {
+    VEM_RETURN_IF_ERROR(disks_[d]->Read(id, out + d * child_block_size_));
+  }
+  stats_.block_reads += disks_.size();
+  stats_.parallel_reads++;  // all D stripes move in one PDM step
+  stats_.bytes_read += logical_block_size_;
+  return Status::OK();
+}
+
+Status StripedDevice::Write(uint64_t id, const void* buf) {
+  const char* in = static_cast<const char*>(buf);
+  for (size_t d = 0; d < disks_.size(); ++d) {
+    VEM_RETURN_IF_ERROR(disks_[d]->Write(id, in + d * child_block_size_));
+  }
+  stats_.block_writes += disks_.size();
+  stats_.parallel_writes++;
+  stats_.bytes_written += logical_block_size_;
+  return Status::OK();
+}
+
+uint64_t StripedDevice::Allocate() {
+  // Children allocate in lockstep so one logical id addresses the same
+  // physical id on every disk.
+  uint64_t id = disks_[0]->Allocate();
+  for (size_t d = 1; d < disks_.size(); ++d) {
+    uint64_t cid = disks_[d]->Allocate();
+    (void)cid;  // identical by construction
+  }
+  allocated_++;
+  return id;
+}
+
+void StripedDevice::Free(uint64_t id) {
+  for (auto& disk : disks_) disk->Free(id);
+  allocated_--;
+}
+
+}  // namespace vem

@@ -1,0 +1,48 @@
+// StripedDevice: disk striping over D disks — the survey's technique for
+// turning a D-disk machine into a logical one-disk machine with block
+// size D*B.
+//
+// One logical block is split into D stripes, one per child disk, all
+// transferred in a single parallel I/O step. Scan-type algorithms gain a
+// factor-D speedup; sorting pays the log-base penalty log_{M/(DB)} instead
+// of the per-disk-optimal log_{M/B} — exactly the trade-off the survey
+// quantifies (bench_disk_striping reproduces it).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "io/block_device.h"
+#include "io/memory_block_device.h"
+
+namespace vem {
+
+/// Logical device of block size D * child_block_size striped across D
+/// in-memory child disks. Stats on this device count PDM parallel steps
+/// (parallel_reads/writes) and physical transfers (block_reads/writes,
+/// D per step). Child devices are owned.
+class StripedDevice final : public BlockDevice {
+ public:
+  /// @param num_disks D >= 1
+  /// @param child_block_size bytes per physical block on each disk
+  StripedDevice(size_t num_disks, size_t child_block_size);
+
+  size_t block_size() const override { return logical_block_size_; }
+  Status Read(uint64_t id, void* buf) override;
+  Status Write(uint64_t id, const void* buf) override;
+  uint64_t Allocate() override;
+  void Free(uint64_t id) override;
+  uint64_t num_allocated() const override { return allocated_; }
+
+  size_t num_disks() const { return disks_.size(); }
+  /// Per-disk accounting (all disks see identical load under striping).
+  const IoStats& disk_stats(size_t d) const { return disks_[d]->stats(); }
+
+ private:
+  size_t logical_block_size_;
+  size_t child_block_size_;
+  std::vector<std::unique_ptr<MemoryBlockDevice>> disks_;
+  uint64_t allocated_ = 0;
+};
+
+}  // namespace vem

@@ -1,0 +1,203 @@
+// ExternalPriorityQueue<T>: external-memory priority queue.
+//
+// Simplified sequence heap (Sanders' design, the engine of the STXXL PQ,
+// which the survey cites for EM priority queues): inserts go to an
+// internal min-heap; when it overflows, its contents spill to disk as a
+// sorted run. DeleteMin takes the smaller of the internal heap's top and
+// the minimum head across on-disk runs. When the number of runs would
+// exceed the buffer budget (one block buffer per run), all runs collapse
+// into one via a k-way merge.
+//
+// N inserts + N delete-mins cost O((N/B) log_{M/B}(N/M)) I/Os amortized —
+// so sorting by PQ push/pop matches Sort(N) (bench_priority_queue).
+#pragma once
+
+#include <algorithm>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "core/ext_vector.h"
+#include "io/block_device.h"
+#include "sort/loser_tree.h"
+#include "util/status.h"
+
+namespace vem {
+
+/// Min-priority queue of trivially-copyable items on a block device.
+template <typename T, typename Cmp = std::less<T>>
+class ExternalPriorityQueue {
+  static_assert(std::is_trivially_copyable_v<T>);
+
+ public:
+  /// @param dev scratch device for spilled runs (not owned)
+  /// @param memory_budget_bytes internal memory M: half for the insertion
+  ///        heap, half for per-run merge buffers.
+  ExternalPriorityQueue(BlockDevice* dev, size_t memory_budget_bytes,
+                        Cmp cmp = Cmp())
+      : dev_(dev), cmp_(cmp) {
+    size_t half = memory_budget_bytes / 2;
+    heap_capacity_ = std::max<size_t>(half / sizeof(T), 16);
+    max_runs_ = std::max<size_t>(half / dev->block_size(), 2);
+  }
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  /// Statistics for tests/benches.
+  size_t spills() const { return spills_; }
+  size_t collapses() const { return collapses_; }
+  size_t active_runs() const { return runs_.size(); }
+
+  /// Insert one item; O(1/B) amortized I/Os.
+  Status Push(const T& v) {
+    heap_.push_back(v);
+    std::push_heap(heap_.begin(), heap_.end(), InvCmp{cmp_});
+    size_++;
+    if (heap_.size() >= heap_capacity_) {
+      VEM_RETURN_IF_ERROR(SpillHeap());
+    }
+    return Status::OK();
+  }
+
+  /// Read the current minimum without removing it.
+  Status Top(T* out) {
+    if (size_ == 0) return Status::NotFound("top of empty priority queue");
+    const T* best = nullptr;
+    if (!heap_.empty()) best = &heap_.front();
+    for (auto& run : runs_) {
+      if (run->valid && (best == nullptr || cmp_(run->head, *best))) {
+        best = &run->head;
+      }
+    }
+    *out = *best;
+    return Status::OK();
+  }
+
+  /// Remove and return the minimum; O(1/B) amortized I/Os.
+  Status Pop(T* out) {
+    if (size_ == 0) return Status::NotFound("pop from empty priority queue");
+    // Find the best source: -1 for the internal heap, else run index.
+    int src = heap_.empty() ? -2 : -1;
+    const T* best = heap_.empty() ? nullptr : &heap_.front();
+    for (size_t i = 0; i < runs_.size(); ++i) {
+      if (runs_[i]->valid && (best == nullptr || cmp_(runs_[i]->head, *best))) {
+        best = &runs_[i]->head;
+        src = static_cast<int>(i);
+      }
+    }
+    if (src == -1) {
+      *out = heap_.front();
+      std::pop_heap(heap_.begin(), heap_.end(), InvCmp{cmp_});
+      heap_.pop_back();
+    } else {
+      RunState& run = *runs_[src];
+      *out = run.head;
+      if (!run.reader->Next(&run.head)) {
+        VEM_RETURN_IF_ERROR(run.reader->status());
+        run.valid = false;
+      }
+    }
+    size_--;
+    if (size_ == 0) ReleaseRuns();
+    return Status::OK();
+  }
+
+ private:
+  struct RunState {
+    explicit RunState(BlockDevice* dev) : data(dev) {}
+    ExtVector<T> data;
+    std::unique_ptr<typename ExtVector<T>::Reader> reader;
+    T head{};
+    bool valid = false;
+
+    /// Items not yet consumed (head included).
+    size_t remaining() const {
+      if (!valid) return 0;
+      return data.size() - reader->position() + 1;
+    }
+  };
+
+  /// Heap comparator inversion: std heap functions build a max-heap, we
+  /// want the minimum at front.
+  struct InvCmp {
+    Cmp cmp;
+    bool operator()(const T& a, const T& b) const { return cmp(b, a); }
+  };
+
+  Status SpillHeap() {
+    std::sort(heap_.begin(), heap_.end(), cmp_);
+    auto run = std::make_unique<RunState>(dev_);
+    VEM_RETURN_IF_ERROR(run->data.AppendAll(heap_.data(), heap_.size()));
+    heap_.clear();
+    run->reader = std::make_unique<typename ExtVector<T>::Reader>(&run->data);
+    run->valid = run->reader->Next(&run->head);
+    VEM_RETURN_IF_ERROR(run->reader->status());
+    if (run->valid) runs_.push_back(std::move(run));
+    spills_++;
+    if (runs_.size() > max_runs_) {
+      VEM_RETURN_IF_ERROR(CollapseRuns());
+    }
+    return Status::OK();
+  }
+
+  /// Merge the smallest half of the runs (from their current positions)
+  /// into one. Merging small-into-large geometrically bounds how often an
+  /// item is rewritten: O(log(N/M)) times, giving the sequence-heap
+  /// amortized bound without the quadratic blowup of a full collapse.
+  Status CollapseRuns() {
+    collapses_++;
+    // Pick the ceil(max_runs/2)+1 runs with the fewest remaining items.
+    std::sort(runs_.begin(), runs_.end(),
+              [](const std::unique_ptr<RunState>& a,
+                 const std::unique_ptr<RunState>& b) {
+                return a->remaining() < b->remaining();
+              });
+    size_t merge_count = std::min(runs_.size(), max_runs_ / 2 + 1);
+    if (merge_count < 2) merge_count = std::min<size_t>(2, runs_.size());
+
+    auto merged = std::make_unique<RunState>(dev_);
+    {
+      LoserTree<T, Cmp> tree(merge_count, cmp_);
+      for (size_t i = 0; i < merge_count; ++i) {
+        if (runs_[i]->valid) tree.SetSource(i, runs_[i]->head);
+      }
+      tree.Build();
+      typename ExtVector<T>::Writer writer(&merged->data);
+      while (tree.HasWinner()) {
+        if (!writer.Append(tree.top())) return writer.status();
+        RunState& run = *runs_[tree.winner()];
+        T next;
+        if (run.reader->Next(&next)) {
+          tree.ReplaceWinner(next);
+        } else {
+          VEM_RETURN_IF_ERROR(run.reader->status());
+          tree.ExhaustWinner();
+        }
+      }
+      VEM_RETURN_IF_ERROR(writer.Finish());
+    }
+    // Drop the drained runs, keep the rest.
+    runs_.erase(runs_.begin(), runs_.begin() + merge_count);
+    merged->reader =
+        std::make_unique<typename ExtVector<T>::Reader>(&merged->data);
+    merged->valid = merged->reader->Next(&merged->head);
+    VEM_RETURN_IF_ERROR(merged->reader->status());
+    if (merged->valid) runs_.push_back(std::move(merged));
+    return Status::OK();
+  }
+
+  void ReleaseRuns() { runs_.clear(); }
+
+  BlockDevice* dev_;
+  Cmp cmp_;
+  size_t heap_capacity_;
+  size_t max_runs_;
+  std::vector<T> heap_;
+  std::vector<std::unique_ptr<RunState>> runs_;
+  size_t size_ = 0;
+  size_t spills_ = 0;
+  size_t collapses_ = 0;
+};
+
+}  // namespace vem

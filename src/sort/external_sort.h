@@ -1,0 +1,261 @@
+// External multiway merge sort — Sort(N) = Θ((N/B) log_{M/B}(N/B)) I/Os.
+//
+// Phase 1 (run formation): load M items at a time, sort in RAM, write each
+// as a sorted run: one scan, ceil(N/M) runs.
+// Phase 2 (merging): repeatedly merge k = M/B - 1 runs at a time with a
+// LoserTree until one run remains. Each pass scans all data once, and
+// there are ceil(log_k(N/M)) passes — the survey's optimal sorting bound
+// (for a single disk; use a StripedDevice for the D-disk variant).
+#pragma once
+
+#include <algorithm>
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "core/ext_vector.h"
+#include "io/block_device.h"
+#include "sort/loser_tree.h"
+#include "util/status.h"
+
+namespace vem {
+
+/// External merge sort over ExtVector<T>.
+template <typename T, typename Cmp = std::less<T>>
+class ExternalSorter {
+ public:
+  /// Observability: what the sort actually did (asserted on in tests,
+  /// reported by benches).
+  struct Metrics {
+    size_t items = 0;        ///< N
+    size_t initial_runs = 0; ///< ceil(N/M)
+    size_t merge_passes = 0; ///< ceil(log_k initial_runs)
+    size_t fan_in = 0;       ///< k
+  };
+
+  /// @param dev device holding input, temporaries and output (not owned)
+  /// @param memory_budget_bytes internal memory M for buffers
+  explicit ExternalSorter(BlockDevice* dev, size_t memory_budget_bytes,
+                          Cmp cmp = Cmp())
+      : dev_(dev), memory_budget_(memory_budget_bytes), cmp_(cmp) {}
+
+  /// k: how many runs one merge pass combines. k input buffers plus one
+  /// output buffer must fit in M.
+  size_t fan_in() const {
+    size_t k = memory_budget_ / dev_->block_size();
+    k = k >= 3 ? k - 1 : 2;
+    return std::min(k, fan_in_cap_);
+  }
+
+  /// Items per initial run (M in items, >= 2 blocks so merging makes
+  /// progress even under absurdly small budgets).
+  size_t run_length() const {
+    size_t m = memory_budget_ / sizeof(T);
+    size_t two_blocks = 2 * (dev_->block_size() / sizeof(T));
+    return std::min(std::max(m, two_blocks), run_length_cap_);
+  }
+
+  /// Experiment knobs (bench_ablation_sort): artificially cap the merge
+  /// fan-in / initial run length below what M allows, to isolate each
+  /// parameter's contribution to the pass count. Caps never raise the
+  /// memory-derived values.
+  void set_fan_in_cap(size_t cap) { fan_in_cap_ = std::max<size_t>(cap, 2); }
+  void set_run_length_cap(size_t cap) {
+    run_length_cap_ = std::max<size_t>(cap, 1);
+  }
+
+  /// Replacement selection ("snow plow") run formation: a tournament over
+  /// M items emits ascending output while refilling from the input, so a
+  /// random permutation yields runs of expected length 2M — one fewer
+  /// merge pass right at the N/M boundary (the classic tape-era trick the
+  /// survey recounts).
+  void set_replacement_selection(bool on) { replacement_selection_ = on; }
+
+  /// Sort `input` into `output`. `output` must be an empty vector on the
+  /// same device. The input is not modified.
+  Status Sort(const ExtVector<T>& input, ExtVector<T>* output) {
+    if (output->device() != dev_ || !output->empty()) {
+      return Status::InvalidArgument("output must be empty, same device");
+    }
+    metrics_ = Metrics{};
+    metrics_.items = input.size();
+    metrics_.fan_in = fan_in();
+
+    std::deque<ExtVector<T>> runs;
+    VEM_RETURN_IF_ERROR(FormRuns(input, &runs));
+    metrics_.initial_runs = runs.size();
+
+    if (runs.empty()) return Status::OK();  // empty input -> empty output
+
+    const size_t k = fan_in();
+    // Intermediate passes: while more than k runs remain, merge groups of
+    // k into new runs (each full sweep over the deque = one pass).
+    while (runs.size() > k) {
+      metrics_.merge_passes++;
+      size_t groups = (runs.size() + k - 1) / k;
+      std::deque<ExtVector<T>> next;
+      for (size_t g = 0; g < groups; ++g) {
+        size_t take = std::min(k, runs.size());
+        ExtVector<T> merged(dev_);
+        VEM_RETURN_IF_ERROR(MergeFront(&runs, take, &merged));
+        next.push_back(std::move(merged));
+      }
+      runs.swap(next);
+    }
+    // Final pass straight into the caller's output.
+    metrics_.merge_passes++;
+    if (runs.size() == 1) {
+      metrics_.merge_passes--;  // single run: no merge needed
+      *output = std::move(runs.front());
+      runs.pop_front();
+      return Status::OK();
+    }
+    return MergeFront(&runs, runs.size(), output);
+  }
+
+  const Metrics& metrics() const { return metrics_; }
+
+ private:
+  /// Phase 1: produce sorted runs of run_length() items.
+  Status FormRuns(const ExtVector<T>& input, std::deque<ExtVector<T>>* runs) {
+    if (replacement_selection_) return FormRunsReplacement(input, runs);
+    const size_t run_items = run_length();
+    typename ExtVector<T>::Reader reader(&input);
+    std::vector<T> buf;
+    buf.reserve(std::min(run_items, input.size()));
+    T item;
+    bool more = reader.Next(&item);
+    while (more) {
+      buf.clear();
+      while (more && buf.size() < run_items) {
+        buf.push_back(item);
+        more = reader.Next(&item);
+      }
+      VEM_RETURN_IF_ERROR(reader.status());
+      std::sort(buf.begin(), buf.end(), cmp_);
+      ExtVector<T> run(dev_);
+      VEM_RETURN_IF_ERROR(run.AppendAll(buf.data(), buf.size()));
+      runs->push_back(std::move(run));
+    }
+    return reader.status();
+  }
+
+  /// Replacement-selection run formation: a heap of (epoch, item) where
+  /// items smaller than the last emitted one are deferred to the next
+  /// run's epoch. Runs close when the current epoch drains.
+  Status FormRunsReplacement(const ExtVector<T>& input,
+                             std::deque<ExtVector<T>>* runs) {
+    struct Entry {
+      uint64_t epoch;
+      T item;
+    };
+    auto entry_after = [this](const Entry& a, const Entry& b) {
+      if (a.epoch != b.epoch) return a.epoch > b.epoch;
+      return cmp_(b.item, a.item);
+    };
+    const size_t heap_items = run_length();
+    typename ExtVector<T>::Reader reader(&input);
+    std::vector<Entry> heap;
+    heap.reserve(std::min(heap_items, input.size()));
+    T item;
+    while (heap.size() < heap_items && reader.Next(&item)) {
+      heap.push_back(Entry{0, item});
+    }
+    VEM_RETURN_IF_ERROR(reader.status());
+    std::make_heap(heap.begin(), heap.end(), entry_after);
+
+    uint64_t cur_epoch = 0;
+    std::unique_ptr<ExtVector<T>> run;
+    std::unique_ptr<typename ExtVector<T>::Writer> writer;
+    bool input_done = heap.size() < heap_items;
+    while (!heap.empty()) {
+      std::pop_heap(heap.begin(), heap.end(), entry_after);
+      Entry e = heap.back();
+      heap.pop_back();
+      if (run == nullptr || e.epoch != cur_epoch) {
+        if (writer != nullptr) {
+          VEM_RETURN_IF_ERROR(writer->Finish());
+          runs->push_back(std::move(*run));
+        }
+        cur_epoch = e.epoch;
+        run = std::make_unique<ExtVector<T>>(dev_);
+        writer = std::make_unique<typename ExtVector<T>::Writer>(run.get());
+      }
+      if (!writer->Append(e.item)) return writer->status();
+      if (!input_done) {
+        T next;
+        if (reader.Next(&next)) {
+          // Items below the last emitted key must wait for the next run.
+          uint64_t epoch = cmp_(next, e.item) ? cur_epoch + 1 : cur_epoch;
+          heap.push_back(Entry{epoch, next});
+          std::push_heap(heap.begin(), heap.end(), entry_after);
+        } else {
+          VEM_RETURN_IF_ERROR(reader.status());
+          input_done = true;
+        }
+      }
+    }
+    if (writer != nullptr) {
+      VEM_RETURN_IF_ERROR(writer->Finish());
+      runs->push_back(std::move(*run));
+    }
+    return Status::OK();
+  }
+
+  /// Merge the first `take` runs of `runs` into `out`; merged runs are
+  /// destroyed (their blocks freed) as soon as they are drained.
+  Status MergeFront(std::deque<ExtVector<T>>* runs, size_t take,
+                    ExtVector<T>* out) {
+    std::vector<ExtVector<T>> group;
+    group.reserve(take);
+    for (size_t i = 0; i < take; ++i) {
+      group.push_back(std::move(runs->front()));
+      runs->pop_front();
+    }
+    std::vector<typename ExtVector<T>::Reader> readers;
+    readers.reserve(take);
+    for (auto& run : group) readers.emplace_back(&run);
+
+    LoserTree<T, Cmp> tree(take, cmp_);
+    for (size_t i = 0; i < take; ++i) {
+      T head;
+      if (readers[i].Next(&head)) tree.SetSource(i, head);
+      VEM_RETURN_IF_ERROR(readers[i].status());
+    }
+    tree.Build();
+
+    typename ExtVector<T>::Writer writer(out);
+    while (tree.HasWinner()) {
+      if (!writer.Append(tree.top())) return writer.status();
+      size_t src = tree.winner();
+      T next;
+      if (readers[src].Next(&next)) {
+        tree.ReplaceWinner(next);
+      } else {
+        VEM_RETURN_IF_ERROR(readers[src].status());
+        tree.ExhaustWinner();
+      }
+    }
+    VEM_RETURN_IF_ERROR(writer.Finish());
+    for (auto& run : group) run.Destroy();
+    return Status::OK();
+  }
+
+  BlockDevice* dev_;
+  size_t memory_budget_;
+  Cmp cmp_;
+  Metrics metrics_;
+  size_t fan_in_cap_ = ~size_t{0};
+  size_t run_length_cap_ = ~size_t{0};
+  bool replacement_selection_ = false;
+};
+
+/// Convenience wrapper: sort with default comparator.
+template <typename T, typename Cmp = std::less<T>>
+Status ExternalSort(const ExtVector<T>& input, ExtVector<T>* output,
+                    size_t memory_budget_bytes, Cmp cmp = Cmp()) {
+  ExternalSorter<T, Cmp> sorter(output->device(), memory_budget_bytes, cmp);
+  return sorter.Sort(input, output);
+}
+
+}  // namespace vem

@@ -1,0 +1,103 @@
+// LoserTree: tournament selection tree for k-way merging.
+//
+// The standard merge engine of external merge sort (STXXL uses the same
+// structure): k leaves hold the head item of each source; each internal
+// node stores the loser of its subtree's play-off; the overall winner is
+// found in O(1) and replaced in O(log k) comparisons. Ties break toward
+// the lower source index, making merges deterministic.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace vem {
+
+/// Selection tree over k sources. Usage:
+///   LoserTree<T> lt(k);
+///   for each source i with an item: lt.SetSource(i, item);
+///   lt.Build();
+///   while (lt.HasWinner()) {
+///     consume lt.top() from source lt.winner();
+///     if (source has more) lt.ReplaceWinner(next); else lt.ExhaustWinner();
+///   }
+template <typename T, typename Cmp = std::less<T>>
+class LoserTree {
+ public:
+  explicit LoserTree(size_t k, Cmp cmp = Cmp())
+      : k_(k == 0 ? 1 : k), cmp_(cmp), items_(k_), alive_(k_, false),
+        tree_(k_, 0) {}
+
+  /// Provide the initial head item of source i. Call before Build().
+  void SetSource(size_t i, const T& v) {
+    items_[i] = v;
+    alive_[i] = true;
+  }
+
+  /// Run the initial tournament. Sources without SetSource are exhausted.
+  void Build() {
+    winner_ = (k_ == 1) ? 0 : BuildNode(1);
+  }
+
+  /// True while any source still has an item.
+  bool HasWinner() const { return alive_[winner_]; }
+
+  /// Index of the source holding the current minimum.
+  size_t winner() const { return winner_; }
+
+  /// The current minimum item.
+  const T& top() const { return items_[winner_]; }
+
+  /// Replace the winner's item with its source's next item; O(log k).
+  void ReplaceWinner(const T& v) {
+    items_[winner_] = v;
+    SiftUp(winner_);
+  }
+
+  /// Mark the winner's source exhausted; O(log k).
+  void ExhaustWinner() {
+    alive_[winner_] = false;
+    SiftUp(winner_);
+  }
+
+ private:
+  /// True if leaf a beats leaf b (smaller item wins; exhausted never wins).
+  bool Beats(size_t a, size_t b) const {
+    if (!alive_[a]) return false;
+    if (!alive_[b]) return true;
+    if (cmp_(items_[a], items_[b])) return true;
+    if (cmp_(items_[b], items_[a])) return false;
+    return a < b;
+  }
+
+  /// Recursively play node's subtree; stores losers, returns the winner.
+  size_t BuildNode(size_t node) {
+    if (node >= k_) return node - k_;  // leaf: maps to source node - k
+    size_t l = BuildNode(2 * node);
+    size_t r = BuildNode(2 * node + 1);
+    if (Beats(l, r)) {
+      tree_[node] = r;
+      return l;
+    }
+    tree_[node] = l;
+    return r;
+  }
+
+  /// Replay matches from leaf i to the root after items_[i] changed.
+  void SiftUp(size_t i) {
+    size_t w = i;
+    for (size_t node = (i + k_) / 2; node >= 1; node /= 2) {
+      if (Beats(tree_[node], w)) std::swap(w, tree_[node]);
+      if (node == 1) break;
+    }
+    winner_ = w;
+  }
+
+  size_t k_;
+  Cmp cmp_;
+  std::vector<T> items_;
+  std::vector<bool> alive_;
+  std::vector<size_t> tree_;  // tree_[1..k-1]: loser leaf of each match
+  size_t winner_ = 0;
+};
+
+}  // namespace vem

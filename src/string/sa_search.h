@@ -1,0 +1,108 @@
+// Substring search over an external suffix array — the query side of the
+// survey's text-indexing motivation.
+//
+// Binary search over the suffix array with pattern comparisons against
+// the text: O(log_2 N · (1 + |P|/B)) I/Os per query (each probe reads
+// the pattern-length prefix of one suffix). Reports the match range
+// [lo, hi) in the SA and can enumerate occurrence positions at
+// Scan(range) cost.
+#pragma once
+
+#include <string>
+
+#include "core/ext_vector.h"
+#include "util/status.h"
+
+namespace vem {
+
+/// Read-only searcher over (text, suffix array) pair on a device.
+class SuffixArraySearcher {
+ public:
+  SuffixArraySearcher(const ExtVector<uint8_t>* text,
+                      const ExtVector<uint64_t>* sa)
+      : text_(text), sa_(sa) {}
+
+  /// Count occurrences of `pattern` (empty pattern matches everywhere).
+  Status Count(const std::string& pattern, uint64_t* count) {
+    uint64_t lo = 0, hi = 0;
+    VEM_RETURN_IF_ERROR(MatchRange(pattern, &lo, &hi));
+    *count = hi - lo;
+    return Status::OK();
+  }
+
+  /// Append all occurrence positions (text offsets, SA order) to *out.
+  Status Find(const std::string& pattern, std::vector<uint64_t>* out) {
+    uint64_t lo = 0, hi = 0;
+    VEM_RETURN_IF_ERROR(MatchRange(pattern, &lo, &hi));
+    if (lo == hi) return Status::OK();
+    ExtVector<uint64_t>::Reader r(sa_, lo);
+    uint64_t pos;
+    for (uint64_t i = lo; i < hi; ++i) {
+      if (!r.Next(&pos)) return r.status();
+      out->push_back(pos);
+    }
+    return Status::OK();
+  }
+
+  /// SA range [lo, hi) of suffixes with `pattern` as a prefix.
+  Status MatchRange(const std::string& pattern, uint64_t* lo, uint64_t* hi) {
+    const uint64_t n = sa_->size();
+    // Lower bound: first suffix >= pattern.
+    uint64_t a = 0, b = n;
+    while (a < b) {
+      uint64_t mid = (a + b) / 2;
+      int c;
+      VEM_RETURN_IF_ERROR(CompareSuffix(mid, pattern, &c));
+      if (c < 0) a = mid + 1; else b = mid;
+    }
+    *lo = a;
+    // Upper bound: first suffix that does not have pattern as a prefix
+    // and is greater (compare with "prefix semantics": a suffix equal on
+    // |P| bytes counts as < for this bound).
+    b = n;
+    while (a < b) {
+      uint64_t mid = (a + b) / 2;
+      int c;
+      VEM_RETURN_IF_ERROR(CompareSuffix(mid, pattern, &c));
+      if (c <= 0) a = mid + 1; else b = mid;
+    }
+    *hi = a;
+    return Status::OK();
+  }
+
+ private:
+  /// Compare suffix SA[idx] against the pattern on |pattern| bytes:
+  /// -1 below, 0 pattern-is-prefix, +1 above.
+  Status CompareSuffix(uint64_t idx, const std::string& pattern, int* out) {
+    uint64_t start;
+    {
+      ExtVector<uint64_t>::Reader r(sa_, idx);
+      if (!r.Next(&start)) return Status::Corruption("SA read failed");
+    }
+    ExtVector<uint8_t>::Reader tr(text_, start);
+    for (size_t i = 0; i < pattern.size(); ++i) {
+      uint8_t c;
+      if (!tr.Next(&c)) {
+        VEM_RETURN_IF_ERROR(tr.status());
+        *out = -1;  // suffix ended: shorter sorts first
+        return Status::OK();
+      }
+      uint8_t p = static_cast<uint8_t>(pattern[i]);
+      if (c < p) {
+        *out = -1;
+        return Status::OK();
+      }
+      if (c > p) {
+        *out = 1;
+        return Status::OK();
+      }
+    }
+    *out = 0;
+    return Status::OK();
+  }
+
+  const ExtVector<uint8_t>* text_;
+  const ExtVector<uint64_t>* sa_;
+};
+
+}  // namespace vem

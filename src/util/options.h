@@ -1,0 +1,42 @@
+// Options: the Parallel Disk Model parameters (Vitter-Shriver).
+//
+// The PDM measures everything in items; our substrate measures in bytes and
+// lets typed containers derive the per-type B = block_size / sizeof(T).
+#pragma once
+
+#include <cstddef>
+
+namespace vem {
+
+/// Global configuration of the simulated machine.
+///
+/// Maps onto the PDM parameters:
+///  - B (items/block)  = block_size / sizeof(item)
+///  - M (items in RAM) = memory_budget / sizeof(item)
+///  - D (# disks)      = num_disks
+struct Options {
+  /// Bytes per disk block. PDM parameter B (scaled by item size).
+  size_t block_size = 4096;
+
+  /// Bytes of internal memory available to an algorithm. PDM parameter M.
+  /// Algorithms must not hold more than this much payload at once (metadata
+  /// such as per-run block-id lists is exempt, as in STXXL/TPIE).
+  size_t memory_budget = 1u << 20;  // 1 MiB
+
+  /// Number of independent disks. PDM parameter D. Used by StripedDevice.
+  size_t num_disks = 1;
+
+  /// Per-type block capacity: how many T fit in one block.
+  template <typename T>
+  size_t items_per_block() const {
+    return block_size / sizeof(T);
+  }
+
+  /// Per-type memory capacity: how many T fit in internal memory.
+  template <typename T>
+  size_t items_in_memory() const {
+    return memory_budget / sizeof(T);
+  }
+};
+
+}  // namespace vem

@@ -1,0 +1,101 @@
+// Deterministic random number generation for workloads and property tests.
+//
+// A small xoshiro256** implementation so that every test and benchmark is
+// reproducible independent of the standard library's distribution details.
+#pragma once
+
+#include <cstdint>
+#include <cmath>
+#include <vector>
+
+namespace vem {
+
+/// xoshiro256** by Blackman & Vigna; fast, high-quality, deterministic.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ull) {
+    // SplitMix64 seeding, per the xoshiro reference implementation.
+    uint64_t x = seed;
+    for (auto& word : state_) {
+      x += 0x9E3779B97F4A7C15ull;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  uint64_t Next() {
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, bound). bound must be > 0.
+  uint64_t Uniform(uint64_t bound) { return Next() % bound; }
+
+  /// Uniform in [lo, hi].
+  int64_t UniformRange(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(Uniform(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    for (size_t i = v->size(); i > 1; --i) {
+      size_t j = Uniform(i);
+      std::swap((*v)[i - 1], (*v)[j]);
+    }
+  }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+  uint64_t state_[4];
+};
+
+/// Zipf-distributed generator over {0, .., n-1} with exponent theta.
+/// Used to model skewed key access in the string/search benchmarks.
+class ZipfGenerator {
+ public:
+  ZipfGenerator(uint64_t n, double theta, uint64_t seed = 42)
+      : n_(n), theta_(theta), rng_(seed) {
+    zetan_ = Zeta(n);
+    alpha_ = 1.0 / (1.0 - theta_);
+    eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n_), 1.0 - theta_)) /
+           (1.0 - Zeta(2) / zetan_);
+  }
+
+  uint64_t Next() {
+    double u = rng_.NextDouble();
+    double uz = u * zetan_;
+    if (uz < 1.0) return 0;
+    if (uz < 1.0 + std::pow(0.5, theta_)) return 1;
+    return static_cast<uint64_t>(
+        static_cast<double>(n_) * std::pow(eta_ * u - eta_ + 1.0, alpha_));
+  }
+
+ private:
+  double Zeta(uint64_t n) {
+    double sum = 0;
+    for (uint64_t i = 1; i <= n; ++i) sum += 1.0 / std::pow(static_cast<double>(i), theta_);
+    return sum;
+  }
+
+  uint64_t n_;
+  double theta_;
+  Rng rng_;
+  double zetan_, alpha_, eta_;
+};
+
+}  // namespace vem

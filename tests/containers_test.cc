@@ -1,0 +1,289 @@
+// Tests for ExtVector / ExtStack / ExtQueue: correctness + I/O complexity.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/ext_queue.h"
+#include "core/ext_stack.h"
+#include "core/ext_vector.h"
+#include "io/memory_block_device.h"
+#include "util/random.h"
+
+namespace vem {
+namespace {
+
+constexpr size_t kBlockBytes = 256;  // 32 uint64 per block
+
+TEST(ExtVector, WriteThenReadBack) {
+  MemoryBlockDevice dev(kBlockBytes);
+  ExtVector<uint64_t> vec(&dev);
+  std::vector<uint64_t> ref;
+  ExtVector<uint64_t>::Writer w(&vec);
+  for (uint64_t i = 0; i < 1000; ++i) {
+    ASSERT_TRUE(w.Append(i * 3));
+    ref.push_back(i * 3);
+  }
+  ASSERT_TRUE(w.Finish().ok());
+  std::vector<uint64_t> got;
+  ASSERT_TRUE(vec.ReadAll(&got).ok());
+  EXPECT_EQ(got, ref);
+}
+
+TEST(ExtVector, ScanCostIsNOverB) {
+  MemoryBlockDevice dev(kBlockBytes);
+  const size_t kB = kBlockBytes / sizeof(uint64_t);
+  const size_t kN = 10000;
+  ExtVector<uint64_t> vec(&dev);
+  IoProbe wprobe(dev);
+  ExtVector<uint64_t>::Writer w(&vec);
+  for (uint64_t i = 0; i < kN; ++i) ASSERT_TRUE(w.Append(i));
+  ASSERT_TRUE(w.Finish().ok());
+  EXPECT_EQ(wprobe.delta().block_writes, (kN + kB - 1) / kB);
+
+  IoProbe rprobe(dev);
+  std::vector<uint64_t> got;
+  ASSERT_TRUE(vec.ReadAll(&got).ok());
+  EXPECT_EQ(rprobe.delta().block_reads, (kN + kB - 1) / kB);
+  EXPECT_EQ(got.size(), kN);
+}
+
+TEST(ExtVector, AppendAfterPartialBlock) {
+  MemoryBlockDevice dev(kBlockBytes);
+  ExtVector<uint64_t> vec(&dev);
+  ASSERT_TRUE(vec.AppendAll(std::vector<uint64_t>{1, 2, 3}.data(), 3).ok());
+  ASSERT_TRUE(vec.AppendAll(std::vector<uint64_t>{4, 5}.data(), 2).ok());
+  std::vector<uint64_t> got;
+  ASSERT_TRUE(vec.ReadAll(&got).ok());
+  EXPECT_EQ(got, (std::vector<uint64_t>{1, 2, 3, 4, 5}));
+}
+
+TEST(ExtVector, RandomAccessThroughPool) {
+  MemoryBlockDevice dev(kBlockBytes);
+  BufferPool pool(&dev, 4);
+  ExtVector<uint64_t> vec(&dev, &pool);
+  std::vector<uint64_t> ref(500);
+  for (size_t i = 0; i < ref.size(); ++i) ref[i] = i * 7 + 1;
+  ASSERT_TRUE(vec.AppendAll(ref.data(), ref.size()).ok());
+
+  Rng rng(99);
+  for (int t = 0; t < 300; ++t) {
+    size_t i = rng.Uniform(ref.size());
+    uint64_t v;
+    ASSERT_TRUE(vec.Get(i, &v).ok());
+    EXPECT_EQ(v, ref[i]);
+    if (t % 3 == 0) {
+      ref[i] = rng.Next();
+      ASSERT_TRUE(vec.Set(i, ref[i]).ok());
+    }
+  }
+  ASSERT_TRUE(pool.FlushAll().ok());
+  std::vector<uint64_t> got;
+  ASSERT_TRUE(vec.ReadAll(&got).ok());
+  EXPECT_EQ(got, ref);
+}
+
+TEST(ExtVector, GetOutOfRange) {
+  MemoryBlockDevice dev(kBlockBytes);
+  BufferPool pool(&dev, 2);
+  ExtVector<uint64_t> vec(&dev, &pool);
+  uint64_t v;
+  EXPECT_TRUE(vec.Get(0, &v).IsInvalidArgument());
+}
+
+TEST(ExtVector, DestroyFreesBlocks) {
+  MemoryBlockDevice dev(kBlockBytes);
+  {
+    ExtVector<uint64_t> vec(&dev);
+    std::vector<uint64_t> data(1000, 42);
+    ASSERT_TRUE(vec.AppendAll(data.data(), data.size()).ok());
+    EXPECT_GT(dev.num_allocated(), 0u);
+  }
+  EXPECT_EQ(dev.num_allocated(), 0u);
+}
+
+TEST(ExtVector, MoveTransfersOwnership) {
+  MemoryBlockDevice dev(kBlockBytes);
+  ExtVector<uint64_t> a(&dev);
+  std::vector<uint64_t> data{1, 2, 3, 4};
+  ASSERT_TRUE(a.AppendAll(data.data(), data.size()).ok());
+  ExtVector<uint64_t> b(std::move(a));
+  EXPECT_EQ(a.size(), 0u);
+  std::vector<uint64_t> got;
+  ASSERT_TRUE(b.ReadAll(&got).ok());
+  EXPECT_EQ(got, data);
+}
+
+struct Point3 {
+  double x, y, z;
+  bool operator==(const Point3&) const = default;
+};
+
+TEST(ExtVector, NonPowerOfTwoItemSize) {
+  MemoryBlockDevice dev(100);  // 100 / 24 = 4 items per block, 4 wasted bytes
+  ExtVector<Point3> vec(&dev);
+  EXPECT_EQ(vec.items_per_block(), 4u);
+  std::vector<Point3> ref;
+  ExtVector<Point3>::Writer w(&vec);
+  for (int i = 0; i < 37; ++i) {
+    Point3 p{i * 1.0, i * 2.0, i * 3.0};
+    ref.push_back(p);
+    ASSERT_TRUE(w.Append(p));
+  }
+  ASSERT_TRUE(w.Finish().ok());
+  std::vector<Point3> got;
+  ASSERT_TRUE(vec.ReadAll(&got).ok());
+  EXPECT_EQ(got, ref);
+}
+
+// ------------------------------------------------------------------- Stack
+
+TEST(ExtStack, LifoOrder) {
+  MemoryBlockDevice dev(kBlockBytes);
+  ExtStack<uint64_t> st(&dev);
+  for (uint64_t i = 0; i < 2000; ++i) ASSERT_TRUE(st.Push(i).ok());
+  EXPECT_EQ(st.size(), 2000u);
+  for (uint64_t i = 2000; i-- > 0;) {
+    uint64_t v;
+    ASSERT_TRUE(st.Pop(&v).ok());
+    EXPECT_EQ(v, i);
+  }
+  EXPECT_TRUE(st.empty());
+  uint64_t v;
+  EXPECT_TRUE(st.Pop(&v).IsNotFound());
+}
+
+TEST(ExtStack, AmortizedIoPerOpIsOneOverB) {
+  MemoryBlockDevice dev(kBlockBytes);
+  const size_t kB = kBlockBytes / sizeof(uint64_t);
+  const size_t kN = 20000;
+  ExtStack<uint64_t> st(&dev);
+  IoProbe probe(dev);
+  for (uint64_t i = 0; i < kN; ++i) ASSERT_TRUE(st.Push(i).ok());
+  uint64_t v;
+  for (uint64_t i = 0; i < kN; ++i) ASSERT_TRUE(st.Pop(&v).ok());
+  // 2N ops must cost <= ~2N/B block I/Os (with small slack).
+  EXPECT_LE(probe.delta().block_ios(), 2 * kN / kB + 4);
+}
+
+TEST(ExtStack, InterleavedPushPopAtSpillBoundaryDoesNotThrash) {
+  // Adversarial pattern around the spill boundary: with a 2-block buffer
+  // the structure must not do one I/O per op.
+  MemoryBlockDevice dev(kBlockBytes);
+  const size_t kB = kBlockBytes / sizeof(uint64_t);
+  ExtStack<uint64_t> st(&dev);
+  for (uint64_t i = 0; i < 2 * kB - 1; ++i) ASSERT_TRUE(st.Push(i).ok());
+  IoProbe probe(dev);
+  for (int t = 0; t < 1000; ++t) {
+    ASSERT_TRUE(st.Push(7).ok());
+    uint64_t v;
+    ASSERT_TRUE(st.Pop(&v).ok());
+    EXPECT_EQ(v, 7u);
+  }
+  EXPECT_LE(probe.delta().block_ios(), 1000 / kB * 2 + 8);
+}
+
+TEST(ExtStack, MixedWorkloadAgainstReference) {
+  MemoryBlockDevice dev(64);  // tiny blocks: 8 items
+  ExtStack<uint32_t> st(&dev);
+  std::vector<uint32_t> ref;
+  Rng rng(7);
+  for (int t = 0; t < 30000; ++t) {
+    if (ref.empty() || rng.Uniform(100) < 55) {
+      uint32_t v = static_cast<uint32_t>(rng.Next());
+      ASSERT_TRUE(st.Push(v).ok());
+      ref.push_back(v);
+    } else {
+      uint32_t v;
+      ASSERT_TRUE(st.Pop(&v).ok());
+      ASSERT_EQ(v, ref.back());
+      ref.pop_back();
+    }
+    ASSERT_EQ(st.size(), ref.size());
+  }
+}
+
+// ------------------------------------------------------------------- Queue
+
+TEST(ExtQueue, FifoOrder) {
+  MemoryBlockDevice dev(kBlockBytes);
+  ExtQueue<uint64_t> q(&dev);
+  for (uint64_t i = 0; i < 2000; ++i) ASSERT_TRUE(q.Push(i).ok());
+  for (uint64_t i = 0; i < 2000; ++i) {
+    uint64_t v;
+    ASSERT_TRUE(q.Pop(&v).ok());
+    EXPECT_EQ(v, i);
+  }
+  EXPECT_TRUE(q.empty());
+  uint64_t v;
+  EXPECT_TRUE(q.Pop(&v).IsNotFound());
+}
+
+TEST(ExtQueue, AmortizedIoPerOpIsOneOverB) {
+  MemoryBlockDevice dev(kBlockBytes);
+  const size_t kB = kBlockBytes / sizeof(uint64_t);
+  const size_t kN = 20000;
+  ExtQueue<uint64_t> q(&dev);
+  IoProbe probe(dev);
+  for (uint64_t i = 0; i < kN; ++i) ASSERT_TRUE(q.Push(i).ok());
+  uint64_t v;
+  for (uint64_t i = 0; i < kN; ++i) ASSERT_TRUE(q.Pop(&v).ok());
+  EXPECT_LE(probe.delta().block_ios(), 2 * kN / kB + 4);
+}
+
+TEST(ExtQueue, MixedWorkloadAgainstReference) {
+  MemoryBlockDevice dev(64);
+  ExtQueue<uint32_t> q(&dev);
+  std::deque<uint32_t> ref;
+  Rng rng(11);
+  for (int t = 0; t < 30000; ++t) {
+    if (ref.empty() || rng.Uniform(100) < 55) {
+      uint32_t v = static_cast<uint32_t>(rng.Next());
+      ASSERT_TRUE(q.Push(v).ok());
+      ref.push_back(v);
+    } else {
+      uint32_t v;
+      ASSERT_TRUE(q.Pop(&v).ok());
+      ASSERT_EQ(v, ref.front());
+      ref.pop_front();
+    }
+    ASSERT_EQ(q.size(), ref.size());
+  }
+}
+
+// Property sweep over block sizes: all three containers round-trip.
+class ContainerBlockSweep : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(ContainerBlockSweep, VectorStackQueueRoundTrip) {
+  const size_t block = GetParam();
+  MemoryBlockDevice dev(block);
+  const size_t kN = 5000;
+
+  ExtVector<uint32_t> vec(&dev);
+  ExtStack<uint32_t> st(&dev);
+  ExtQueue<uint32_t> q(&dev);
+  ExtVector<uint32_t>::Writer w(&vec);
+  for (uint32_t i = 0; i < kN; ++i) {
+    ASSERT_TRUE(w.Append(i));
+    ASSERT_TRUE(st.Push(i).ok());
+    ASSERT_TRUE(q.Push(i).ok());
+  }
+  ASSERT_TRUE(w.Finish().ok());
+
+  std::vector<uint32_t> got;
+  ASSERT_TRUE(vec.ReadAll(&got).ok());
+  ASSERT_EQ(got.size(), kN);
+  for (uint32_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(got[i], i);
+    uint32_t sv, qv;
+    ASSERT_TRUE(st.Pop(&sv).ok());
+    ASSERT_TRUE(q.Pop(&qv).ok());
+    ASSERT_EQ(sv, kN - 1 - i);
+    ASSERT_EQ(qv, i);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(BlockSizes, ContainerBlockSweep,
+                         ::testing::Values(16, 64, 256, 4096));
+
+}  // namespace
+}  // namespace vem

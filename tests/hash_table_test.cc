@@ -1,0 +1,158 @@
+// Tests for extendible hashing.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "io/memory_block_device.h"
+#include "search/ext_hash_table.h"
+#include "util/random.h"
+
+namespace vem {
+namespace {
+
+TEST(ExtHashTable, InsertGetDelete) {
+  MemoryBlockDevice dev(256);
+  BufferPool pool(&dev, 16);
+  ExtHashTable<uint64_t, uint64_t> table(&pool);
+  ASSERT_TRUE(table.Init().ok());
+  for (uint64_t i = 0; i < 5000; ++i) {
+    ASSERT_TRUE(table.Insert(i, i * 2).ok());
+  }
+  EXPECT_EQ(table.size(), 5000u);
+  EXPECT_GT(table.global_depth(), 4u);  // directory actually grew
+  uint64_t v;
+  for (uint64_t i = 0; i < 5000; ++i) {
+    ASSERT_TRUE(table.Get(i, &v).ok()) << i;
+    EXPECT_EQ(v, i * 2);
+  }
+  EXPECT_TRUE(table.Get(999999, &v).IsNotFound());
+  bool erased;
+  for (uint64_t i = 0; i < 5000; i += 2) {
+    ASSERT_TRUE(table.Delete(i, &erased).ok());
+    EXPECT_TRUE(erased);
+  }
+  ASSERT_TRUE(table.Delete(0, &erased).ok());
+  EXPECT_FALSE(erased);
+  EXPECT_EQ(table.size(), 2500u);
+  for (uint64_t i = 0; i < 5000; ++i) {
+    Status s = table.Get(i, &v);
+    if (i % 2 == 0) {
+      EXPECT_TRUE(s.IsNotFound()) << i;
+    } else {
+      EXPECT_TRUE(s.ok()) << i;
+    }
+  }
+}
+
+TEST(ExtHashTable, UpsertReplaces) {
+  MemoryBlockDevice dev(256);
+  BufferPool pool(&dev, 8);
+  ExtHashTable<uint32_t, uint32_t> table(&pool);
+  ASSERT_TRUE(table.Init().ok());
+  bool replaced;
+  ASSERT_TRUE(table.Insert(7, 1, &replaced).ok());
+  EXPECT_FALSE(replaced);
+  ASSERT_TRUE(table.Insert(7, 2, &replaced).ok());
+  EXPECT_TRUE(replaced);
+  EXPECT_EQ(table.size(), 1u);
+  uint32_t v;
+  ASSERT_TRUE(table.Get(7, &v).ok());
+  EXPECT_EQ(v, 2u);
+}
+
+TEST(ExtHashTable, LookupIsOneRead) {
+  MemoryBlockDevice dev(512);
+  BufferPool pool(&dev, 4);  // tiny pool: every lookup is cold
+  ExtHashTable<uint64_t, uint64_t> table(&pool);
+  ASSERT_TRUE(table.Init().ok());
+  const size_t kN = 20000;
+  for (uint64_t i = 0; i < kN; ++i) ASSERT_TRUE(table.Insert(i, i).ok());
+  Rng rng(1);
+  const int kQ = 200;
+  IoProbe probe(dev);
+  for (int q = 0; q < kQ; ++q) {
+    uint64_t v;
+    ASSERT_TRUE(table.Get(rng.Uniform(kN), &v).ok());
+  }
+  // Exactly one bucket read per query (amortized; the pool may hold a
+  // couple of hot buckets, so allow <=).
+  EXPECT_LE(probe.delta().block_reads, static_cast<uint64_t>(kQ));
+  EXPECT_GE(probe.delta().block_reads, static_cast<uint64_t>(kQ) / 2);
+}
+
+struct HashFuzzCase {
+  size_t block;
+  size_t ops;
+  uint64_t key_space;
+};
+
+class ExtHashFuzz : public ::testing::TestWithParam<HashFuzzCase> {};
+
+TEST_P(ExtHashFuzz, MatchesStdMap) {
+  const HashFuzzCase& c = GetParam();
+  MemoryBlockDevice dev(c.block);
+  BufferPool pool(&dev, 16);
+  ExtHashTable<uint64_t, uint64_t> table(&pool);
+  ASSERT_TRUE(table.Init().ok());
+  std::map<uint64_t, uint64_t> ref;
+  Rng rng(c.block * 7 + c.ops);
+  for (size_t t = 0; t < c.ops; ++t) {
+    uint64_t k = rng.Uniform(c.key_space);
+    switch (rng.Uniform(4)) {
+      case 0:
+      case 1: {
+        uint64_t v = rng.Next();
+        ASSERT_TRUE(table.Insert(k, v).ok());
+        ref[k] = v;
+        break;
+      }
+      case 2: {
+        bool erased;
+        ASSERT_TRUE(table.Delete(k, &erased).ok());
+        EXPECT_EQ(erased, ref.erase(k) > 0) << "op " << t;
+        break;
+      }
+      case 3: {
+        uint64_t v;
+        Status s = table.Get(k, &v);
+        auto it = ref.find(k);
+        if (it == ref.end()) {
+          EXPECT_TRUE(s.IsNotFound()) << "op " << t;
+        } else {
+          ASSERT_TRUE(s.ok()) << "op " << t;
+          EXPECT_EQ(v, it->second);
+        }
+        break;
+      }
+    }
+    ASSERT_EQ(table.size(), ref.size());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, ExtHashFuzz,
+    ::testing::Values(HashFuzzCase{128, 20000, 300},     // tiny buckets, hot keys
+                      HashFuzzCase{256, 20000, 100000},  // mostly distinct
+                      HashFuzzCase{4096, 10000, 5000}));
+
+TEST(ExtHashTable, SkewedKeysStillSplit) {
+  // Sequential keys hash-scatter; the directory should stay shallow
+  // relative to a pathological chain.
+  MemoryBlockDevice dev(4096);
+  BufferPool pool(&dev, 16);
+  ExtHashTable<uint64_t, uint64_t> table(&pool);
+  ASSERT_TRUE(table.Init().ok());
+  for (uint64_t i = 0; i < 100000; ++i) {
+    ASSERT_TRUE(table.Insert(i * 4096, i).ok());  // stride-aligned keys
+  }
+  uint64_t v;
+  ASSERT_TRUE(table.Get(50000 * 4096, &v).ok());
+  EXPECT_EQ(v, 50000u);
+  // Directory depth ~ log2(N / bucket_cap) + small slack.
+  double ideal = std::log2(100000.0 / table.bucket_capacity());
+  EXPECT_LE(table.global_depth(), static_cast<size_t>(ideal) + 4);
+}
+
+}  // namespace
+}  // namespace vem

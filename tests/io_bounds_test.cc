@@ -1,0 +1,159 @@
+// I/O-complexity property tests: the PDM cost formulas, asserted exactly.
+//
+// These are the library's strongest regression guards: for each core
+// primitive the measured block I/O count must EQUAL (not merely bound)
+// the closed-form cost on block-aligned workloads, across a parameter
+// sweep. Any accidental extra read or write anywhere in the stack fails
+// these tests.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/ext_vector.h"
+#include "io/memory_block_device.h"
+#include "io/striped_device.h"
+#include "sort/external_sort.h"
+#include "util/random.h"
+
+namespace vem {
+namespace {
+
+struct Pdm {
+  size_t block_bytes;
+  size_t mem_bytes;
+  size_t n;  // items (u64)
+};
+
+class ExactCostSweep : public ::testing::TestWithParam<Pdm> {};
+
+TEST_P(ExactCostSweep, ScanCostsExactlyCeilNOverB) {
+  const Pdm& p = GetParam();
+  const size_t kB = p.block_bytes / sizeof(uint64_t);
+  MemoryBlockDevice dev(p.block_bytes);
+  ExtVector<uint64_t> v(&dev);
+  IoProbe wp(dev);
+  {
+    ExtVector<uint64_t>::Writer w(&v);
+    for (size_t i = 0; i < p.n; ++i) ASSERT_TRUE(w.Append(i));
+    ASSERT_TRUE(w.Finish().ok());
+  }
+  EXPECT_EQ(wp.delta().block_writes, (p.n + kB - 1) / kB);
+  EXPECT_EQ(wp.delta().block_reads, 0u);
+  IoProbe rp(dev);
+  {
+    ExtVector<uint64_t>::Reader r(&v);
+    uint64_t x, sum = 0;
+    while (r.Next(&x)) sum += x;
+    ASSERT_EQ(sum, p.n * (p.n - 1) / 2);
+  }
+  EXPECT_EQ(rp.delta().block_reads, (p.n + kB - 1) / kB);
+  EXPECT_EQ(rp.delta().block_writes, 0u);
+}
+
+TEST_P(ExactCostSweep, MergeSortCostsExactly2NBTimesPassesPlusOne) {
+  const Pdm& p = GetParam();
+  const size_t kB = p.block_bytes / sizeof(uint64_t);
+  const size_t kM = p.mem_bytes / sizeof(uint64_t);
+  if (p.n % kB != 0 || p.n % kM != 0) {
+    GTEST_SKIP() << "exact formula needs block- and memory-aligned N";
+  }
+  MemoryBlockDevice dev(p.block_bytes);
+  ExtVector<uint64_t> input(&dev);
+  Rng rng(p.n);
+  {
+    ExtVector<uint64_t>::Writer w(&input);
+    for (size_t i = 0; i < p.n; ++i) ASSERT_TRUE(w.Append(rng.Next()));
+    ASSERT_TRUE(w.Finish().ok());
+  }
+  ExternalSorter<uint64_t> sorter(&dev, p.mem_bytes);
+  ExtVector<uint64_t> out(&dev);
+  IoProbe probe(dev);
+  ASSERT_TRUE(sorter.Sort(input, &out).ok());
+  const auto& m = sorter.metrics();
+  // Run formation: read N/B + write N/B. Each merge pass: the same.
+  uint64_t expect = 2 * (p.n / kB) * (1 + m.merge_passes);
+  EXPECT_EQ(probe.delta().block_ios(), expect)
+      << "passes=" << m.merge_passes << " runs=" << m.initial_runs;
+  // Pass count itself is exactly ceil(log_k(runs)).
+  if (m.initial_runs > 1) {
+    double expect_passes = std::ceil(std::log(double(m.initial_runs)) /
+                                     std::log(double(m.fan_in)));
+    EXPECT_EQ(m.merge_passes, size_t(expect_passes));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, ExactCostSweep,
+    ::testing::Values(Pdm{256, 2048, 1u << 12}, Pdm{256, 2048, 1u << 16},
+                      Pdm{1024, 8192, 1u << 14}, Pdm{1024, 8192, 1u << 18},
+                      Pdm{4096, 65536, 1u << 16},
+                      Pdm{4096, 65536, 1u << 20}));
+
+TEST(ExactCost, StripedScanParallelStepsAreExactlyNOverDB) {
+  for (size_t d : {2u, 4u, 8u}) {
+    const size_t kChild = 512;
+    const size_t kB = d * kChild / sizeof(uint64_t);
+    const size_t kN = kB * 100;
+    StripedDevice dev(d, kChild);
+    ExtVector<uint64_t> v(&dev);
+    {
+      ExtVector<uint64_t>::Writer w(&v);
+      for (size_t i = 0; i < kN; ++i) ASSERT_TRUE(w.Append(i));
+      ASSERT_TRUE(w.Finish().ok());
+    }
+    IoProbe probe(dev);
+    {
+      ExtVector<uint64_t>::Reader r(&v);
+      uint64_t x, s = 0;
+      while (r.Next(&x)) s += x;
+      (void)s;
+    }
+    EXPECT_EQ(probe.delta().parallel_reads, kN / kB);
+    EXPECT_EQ(probe.delta().block_reads, d * (kN / kB));
+    // Perfect per-disk balance.
+    for (size_t disk = 0; disk < d; ++disk) {
+      EXPECT_EQ(dev.disk_stats(disk).block_reads,
+                dev.disk_stats(0).block_reads);
+    }
+  }
+}
+
+TEST(ExactCost, ExtVectorRandomAccessChargesOnePerMiss) {
+  // With a 1-frame pool, every access to a different block costs exactly
+  // one read (plus one write-back if dirty).
+  MemoryBlockDevice dev(256);
+  BufferPool pool(&dev, 1);
+  const size_t kB = 256 / sizeof(uint64_t);
+  ExtVector<uint64_t> v(&dev, &pool);
+  std::vector<uint64_t> data(kB * 10);
+  for (size_t i = 0; i < data.size(); ++i) data[i] = i;
+  ASSERT_TRUE(v.AppendAll(data.data(), data.size()).ok());
+  IoProbe probe(dev);
+  uint64_t x;
+  for (size_t blk = 0; blk < 10; ++blk) {
+    ASSERT_TRUE(v.Get(blk * kB, &x).ok());  // one block each
+  }
+  EXPECT_EQ(probe.delta().block_reads, 10u);
+  // Re-read a resident block repeatedly: zero additional I/O.
+  ASSERT_TRUE(v.Get(0, &x).ok());  // prime the single frame with block 0
+  IoProbe probe2(dev);
+  for (int i = 0; i < 100; ++i) ASSERT_TRUE(v.Get(0, &x).ok());
+  EXPECT_EQ(probe2.delta().block_ios(), 0u);
+}
+
+TEST(ExactCost, WriterPartialTailReuseCostsOneReadOneWrite) {
+  MemoryBlockDevice dev(256);
+  ExtVector<uint64_t> v(&dev);
+  std::vector<uint64_t> a{1, 2, 3};
+  ASSERT_TRUE(v.AppendAll(a.data(), a.size()).ok());
+  // Appending to the partial tail must re-read it once and rewrite it.
+  IoProbe probe(dev);
+  std::vector<uint64_t> b{4, 5};
+  ASSERT_TRUE(v.AppendAll(b.data(), b.size()).ok());
+  EXPECT_EQ(probe.delta().block_reads, 1u);
+  EXPECT_EQ(probe.delta().block_writes, 1u);
+  EXPECT_EQ(dev.num_allocated(), 1u);  // still one block
+}
+
+}  // namespace
+}  // namespace vem
