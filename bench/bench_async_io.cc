@@ -1,0 +1,219 @@
+// Experiment F-async: the batched async I/O engine — sync vs overlapped
+// wall-clock at equal PDM cost.
+//
+// Four scenarios on file-backed devices, each run twice: once on the
+// synchronous per-block path and once with vectored batching + the
+// IoEngine (read-ahead windows, write-behind groups, parallel striping).
+// The headline claim, asserted here on every pair: IoStats are
+// bit-identical — the async engine changes wall-clock, never the cost
+// model.
+//
+// Emits BENCH_async_io.json (and prints it with --json) so the sync/async
+// ratio can be tracked across commits.
+#include <chrono>
+
+#include "bench/bench_util.h"
+#include "core/ext_vector.h"
+#include "io/file_block_device.h"
+#include "io/io_engine.h"
+#include "io/striped_device.h"
+#include "sort/external_sort.h"
+#include "util/options.h"
+#include "util/random.h"
+
+using namespace vem;
+using namespace vem::bench;
+
+namespace {
+
+double Secs(std::chrono::steady_clock::time_point a,
+            std::chrono::steady_clock::time_point b) {
+  return std::chrono::duration<double>(b - a).count();
+}
+
+struct Run {
+  double seconds = 0;
+  IoStats cost;
+};
+
+// Small blocks put the synchronous path firmly in the syscall-per-block
+// regime (one pread per KiB), which is exactly the overhead the vectored
+// engine removes; it also matches the 1 KiB blocks the counting benches
+// use. 32 MiB of payload keeps a full run under a second.
+constexpr size_t kBlockBytes = 1024;
+constexpr size_t kMemBytes = 8 * 1024 * 1024;
+constexpr size_t kItems = 1u << 22;  // 32 MiB of u64
+
+// Build + scan + destroy one vector; depth/engine select the I/O path.
+Run RunStream(bool write_phase, size_t depth, IoEngine* engine) {
+  FileBlockDevice dev("/tmp/vem_bench_async_stream.bin", kBlockBytes);
+  dev.set_io_engine(engine);
+  ExtVector<uint64_t> vec(&dev);
+  vec.set_prefetch_depth(depth);
+  Rng rng(7);
+  Run run;
+  // Write phase (measured only when write_phase).
+  IoProbe write_probe(dev);
+  auto t0 = std::chrono::steady_clock::now();
+  {
+    ExtVector<uint64_t>::Writer w(&vec);
+    for (size_t i = 0; i < kItems; ++i) w.Append(rng.Next());
+    if (!w.Finish().ok()) {
+      std::printf("write failed: %s\n", w.status().ToString().c_str());
+      std::exit(1);
+    }
+  }
+  auto t1 = std::chrono::steady_clock::now();
+  IoStats write_cost = write_probe.delta();
+  IoProbe probe(dev);
+  uint64_t sum = 0;
+  {
+    ExtVector<uint64_t>::Reader r(&vec);
+    uint64_t v;
+    while (r.Next(&v)) sum += v;
+    if (!r.status().ok()) {
+      std::printf("scan failed: %s\n", r.status().ToString().c_str());
+      std::exit(1);
+    }
+  }
+  auto t2 = std::chrono::steady_clock::now();
+  if (write_phase) {
+    run.seconds = Secs(t0, t1);
+    run.cost = write_cost;
+  } else {
+    run.seconds = Secs(t1, t2);
+    run.cost = probe.delta();
+  }
+  if (sum == 42) std::printf("impossible\n");  // keep the scan honest
+  return run;
+}
+
+// Sorting wide records (key + payload, the DB-page shape) keeps the
+// compare work per byte low, so the merge is I/O-bound and the overlap
+// machinery has real transfer time to hide.
+Run RunSort(size_t depth, IoEngine* engine) {
+  FileBlockDevice dev("/tmp/vem_bench_async_sort.bin", kBlockBytes);
+  dev.set_io_engine(engine);
+  ExtVector<WideRec> input(&dev);
+  Rng rng(13);
+  {
+    ExtVector<WideRec>::Writer w(&input);
+    WideRec rec{};
+    for (size_t i = 0; i < kItems / 16; ++i) {  // same 32 MiB of payload
+      rec.key = rng.Next();
+      w.Append(rec);
+    }
+    if (!w.Finish().ok()) {
+      std::printf("sort input failed: %s\n", w.status().ToString().c_str());
+      std::exit(1);
+    }
+  }
+  ExternalSorter<WideRec> sorter(&dev, kMemBytes);
+  sorter.set_prefetch_depth(depth);
+  ExtVector<WideRec> out(&dev);
+  IoProbe probe(dev);
+  auto t0 = std::chrono::steady_clock::now();
+  Status s = sorter.Sort(input, &out);
+  auto t1 = std::chrono::steady_clock::now();
+  if (!s.ok()) {
+    std::printf("sort failed: %s\n", s.ToString().c_str());
+    std::exit(1);
+  }
+  return Run{Secs(t0, t1), probe.delta()};
+}
+
+Run RunStriped(IoEngine* engine) {
+  constexpr size_t kDisks = 4, kChildBlock = 16 * 1024, kLogical = 1024;
+  std::vector<std::unique_ptr<BlockDevice>> disks;
+  for (size_t d = 0; d < kDisks; ++d) {
+    disks.push_back(std::make_unique<FileBlockDevice>(
+        "/tmp/vem_bench_async_stripe" + std::to_string(d) + ".bin",
+        kChildBlock));
+  }
+  StripedDevice dev(std::move(disks));
+  dev.set_io_engine(engine);
+  std::vector<char> block(dev.block_size());
+  for (size_t i = 0; i < block.size(); ++i) block[i] = char(i * 31);
+  auto t0 = std::chrono::steady_clock::now();
+  for (size_t i = 0; i < kLogical; ++i) {
+    uint64_t id = dev.Allocate();
+    dev.Write(id, block.data());
+  }
+  for (size_t i = 0; i < kLogical; ++i) dev.Read(i, block.data());
+  auto t1 = std::chrono::steady_clock::now();
+  return Run{Secs(t0, t1), dev.stats()};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opts;  // the documented knobs
+  opts.prefetch_depth = 32;  // deep windows amortize per-window overhead
+  IoEngine engine(opts.io_threads);
+  const size_t depth = opts.prefetch_depth;
+  double mib = kItems * sizeof(uint64_t) / (1024.0 * 1024.0);
+
+  std::printf(
+      "# F-async: batched async I/O engine — per-block sync vs vectored\n"
+      "# batching (no engine) vs batching + IoEngine overlap\n"
+      "# block = %zu B, M = %zu MiB, N = %zu u64 (%.0f MiB), "
+      "K = %zu, io_threads = %zu\n\n",
+      kBlockBytes, kMemBytes / (1024 * 1024), size_t(kItems), mib, depth,
+      opts.io_threads);
+
+  struct Row {
+    const char* name;
+    Run sync, batched, async;
+  };
+  Row rows[] = {
+      {"write (write-behind)", RunStream(true, 0, nullptr),
+       RunStream(true, depth, nullptr), RunStream(true, depth, &engine)},
+      {"scan (read-ahead)", RunStream(false, 0, nullptr),
+       RunStream(false, depth, nullptr), RunStream(false, depth, &engine)},
+      {"sort (batched merge)", RunSort(0, nullptr), RunSort(depth, nullptr),
+       RunSort(depth, &engine)},
+      {"striping D=4 (parallel)", RunStriped(nullptr), RunStriped(nullptr),
+       RunStriped(&engine)},
+  };
+
+  Table t({"scenario", "sync s", "batched s", "async s", "best speedup",
+           "I/Os", "stats identical"});
+  JsonReport report("async_io");
+  bool all_identical = true;
+  for (const Row& r : rows) {
+    bool identical =
+        r.sync.cost == r.batched.cost && r.sync.cost == r.async.cost;
+    all_identical = all_identical && identical;
+    double best = std::min(r.batched.seconds, r.async.seconds);
+    t.AddRow({r.name, Fmt(r.sync.seconds, 3), Fmt(r.batched.seconds, 3),
+              Fmt(r.async.seconds, 3), Fmt(r.sync.seconds / best, 2) + "x",
+              FmtInt(r.sync.cost.block_ios()),
+              identical ? "yes" : "NO (BUG)"});
+    report.Add(r.name, "sync_seconds", r.sync.seconds);
+    report.Add(r.name, "batched_seconds", r.batched.seconds);
+    report.Add(r.name, "async_seconds", r.async.seconds);
+    report.Add(r.name, "speedup", r.sync.seconds / best);
+    report.Add(r.name, "block_ios", double(r.sync.cost.block_ios()));
+    report.Add(r.name, "parallel_ios", double(r.sync.cost.parallel_ios()));
+    report.Add(r.name, "stats_identical", identical ? 1.0 : 0.0);
+  }
+  t.Print();
+  std::printf(
+      "Expected shape: batching well below sync wall-clock (K blocks per\n"
+      "vectored syscall instead of one); the engine column adds overlap,\n"
+      "which pays off with real device latency or spare cores and costs a\n"
+      "little on a single-core page-cache-hot box. I/O counts identical\n"
+      "everywhere: the PDM charge is invariant, only the clock moves.\n");
+  if (!all_identical) {
+    std::printf("ERROR: async path changed IoStats — cost model violated\n");
+  }
+  if (report.WriteFile("BENCH_async_io.json")) {
+    std::printf("\nwrote BENCH_async_io.json\n");
+  } else {
+    std::printf("\ncould not write BENCH_async_io.json\n");
+  }
+  if (HasFlag(argc, argv, "--json")) {
+    std::printf("%s", report.Render().c_str());
+  }
+  return all_identical ? 0 : 1;
+}

@@ -4,11 +4,78 @@
 #pragma once
 
 #include <cmath>
+#include <cstdint>
 #include <cstdio>
+#include <cstring>
 #include <string>
 #include <vector>
 
 namespace vem::bench {
+
+/// A 128-byte key+payload record — the DB-page-row shape the wall-clock
+/// benches sort when they want the workload I/O-bound rather than
+/// compare-bound (little CPU per byte moved).
+struct WideRec {
+  uint64_t key;
+  char payload[120];
+  bool operator<(const WideRec& o) const { return key < o.key; }
+};
+
+/// True when `flag` (e.g. "--json") appears in argv.
+inline bool HasFlag(int argc, char** argv, const char* flag) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) return true;
+  }
+  return false;
+}
+
+/// Machine-readable benchmark output: collects (scenario, metric, value)
+/// measurements and renders them as one JSON document, so perf runs can
+/// be diffed across commits. Benches keep their human-readable tables on
+/// stdout and add `--json` to also print/emit the JSON form (see
+/// bench_async_io, which writes BENCH_async_io.json).
+class JsonReport {
+ public:
+  explicit JsonReport(std::string bench_name)
+      : name_(std::move(bench_name)) {}
+
+  void Add(const std::string& scenario, const std::string& metric,
+           double value) {
+    rows_.push_back(Row{scenario, metric, value});
+  }
+
+  std::string Render() const {
+    std::string out = "{\n  \"bench\": \"" + name_ + "\",\n  \"results\": [";
+    for (size_t i = 0; i < rows_.size(); ++i) {
+      char val[64];
+      std::snprintf(val, sizeof(val), "%.6g", rows_[i].value);
+      out += i == 0 ? "\n" : ",\n";
+      out += "    {\"scenario\": \"" + rows_[i].scenario +
+             "\", \"metric\": \"" + rows_[i].metric + "\", \"value\": " +
+             val + "}";
+    }
+    out += "\n  ]\n}\n";
+    return out;
+  }
+
+  /// Write the JSON document to `path`; returns false on I/O failure.
+  bool WriteFile(const std::string& path) const {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) return false;
+    std::string doc = Render();
+    size_t n = std::fwrite(doc.data(), 1, doc.size(), f);
+    std::fclose(f);
+    return n == doc.size();
+  }
+
+ private:
+  struct Row {
+    std::string scenario, metric;
+    double value;
+  };
+  std::string name_;
+  std::vector<Row> rows_;
+};
 
 /// Minimal fixed-width table printer (markdown-ish, aligned).
 class Table {

@@ -6,8 +6,20 @@
 //  - random access via BufferPool (1 I/O per miss        => online access)
 //
 // Block-id metadata (O(N/B) words) lives in RAM, as in STXXL/TPIE.
+//
+// Streaming overlap: set_prefetch_depth(K) arms K-block read-ahead in
+// Readers and K-block write-behind in Writers (on devices with an
+// uncounted transfer plane; see block_device.h). Readers keep two K-block
+// windows — one being consumed, one being fetched — and Writers keep two
+// K-block staging groups — one being filled, one being written — so with
+// an IoEngine attached the stream computes while the device transfers,
+// and even without one, K blocks coalesce into a single vectored syscall.
+// IoStats are charged in the consuming thread exactly when the
+// synchronous path would have done the I/O, so measured costs are
+// bit-identical with prefetching on or off.
 #pragma once
 
+#include <algorithm>
 #include <cstring>
 #include <memory>
 #include <type_traits>
@@ -15,6 +27,7 @@
 
 #include "io/block_device.h"
 #include "io/buffer_pool.h"
+#include "io/io_engine.h"
 #include "util/status.h"
 
 namespace vem {
@@ -41,6 +54,7 @@ class ExtVector {
     items_per_block_ = o.items_per_block_;
     blocks_ = std::move(o.blocks_);
     size_ = o.size_;
+    prefetch_depth_ = o.prefetch_depth_;
     o.blocks_.clear();
     o.size_ = 0;
     return *this;
@@ -66,6 +80,14 @@ class ExtVector {
   /// are lost; afterwards only streaming access works until a new owner
   /// re-wraps the vector.
   void DetachPool() { pool_ = nullptr; }
+
+  /// Default K-block read-ahead/write-behind depth for streams created on
+  /// this vector (0 = synchronous, the default). Takes effect on devices
+  /// whose uncounted plane exists; overlap additionally needs an IoEngine
+  /// attached to the device. Never changes IoStats — only wall-clock.
+  /// Each armed stream holds 2*K blocks of buffer memory.
+  void set_prefetch_depth(size_t k) { prefetch_depth_ = k; }
+  size_t prefetch_depth() const { return prefetch_depth_; }
 
   size_t size() const { return size_; }
   bool empty() const { return size_ == 0; }
@@ -101,16 +123,91 @@ class ExtVector {
     return Status::OK();
   }
 
-  /// Sequential writer. Owns one block of buffer memory; costs one device
-  /// write per full block plus one for the final partial block.
+ private:
+  /// One read-ahead window / write-behind group: K blocks of payload and
+  /// the id/pointer arrays an in-flight engine job reads from. Jobs
+  /// capture raw pointers into `ids`/`ptrs`, which stay address-stable
+  /// under move (the heap buffers travel), so moving the owner is safe;
+  /// the moved-from half forgets the flight so only one side waits it.
+  template <typename PtrT>
+  struct IoWindow {
+    std::unique_ptr<char[]> data;
+    std::vector<uint64_t> ids;
+    std::vector<PtrT> ptrs;
+    size_t first_blk = 0;
+    size_t nblks = 0;
+    IoEngine::Ticket ticket = 0;
+    bool in_flight = false;
+    bool active = false;  // covers a block range (in flight or landed)
+    Status st;
+
+    IoWindow() = default;
+    IoWindow(IoWindow&& o) noexcept { *this = std::move(o); }
+    IoWindow& operator=(IoWindow&& o) noexcept {
+      data = std::move(o.data);
+      ids = std::move(o.ids);
+      ptrs = std::move(o.ptrs);
+      first_blk = o.first_blk;
+      nblks = o.nblks;
+      ticket = o.ticket;
+      in_flight = o.in_flight;
+      active = o.active;
+      st = std::move(o.st);
+      o.in_flight = false;
+      o.active = false;
+      o.nblks = 0;
+      return *this;
+    }
+
+    /// Block until any in-flight fill lands; returns the fill's Status.
+    Status Ready(IoEngine* engine) {
+      if (in_flight) {
+        st = engine->Wait(ticket);
+        in_flight = false;
+      }
+      return st;
+    }
+    /// Forget the covered range, waiting out any flight first (the job
+    /// writes into `data`, which must not be reused before it lands).
+    void Drop(IoEngine* engine) {
+      if (in_flight) {
+        (void)engine->Wait(ticket);
+        in_flight = false;
+      }
+      active = false;
+      nblks = 0;
+    }
+    bool Covers(size_t blk) const {
+      return active && blk >= first_blk && blk < first_blk + nblks;
+    }
+  };
+
+ public:
+  /// Sequential writer. Synchronous mode owns one block of buffer memory
+  /// and costs one device write per full block plus one for the final
+  /// partial block. With write-behind armed (vector depth or constructor
+  /// override), items stage into a K-block group that is handed to the
+  /// device as one vectored write — submitted to the IoEngine when the
+  /// device is async-capable, so filling the next group overlaps writing
+  /// the previous one. The PDM charge per block is unchanged.
   class Writer {
    public:
-    explicit Writer(ExtVector* vec)
-        : vec_(vec), buf_(new char[vec->dev_->block_size()]) {
-      // Appending to a non-block-aligned tail requires re-reading it; the
-      // tail block id is kept and rewritten in place by the next flush.
+    /// @param depth_override -1 = use vec->prefetch_depth(); else K.
+    explicit Writer(ExtVector* vec, int depth_override = -1) : vec_(vec) {
+      size_t depth = depth_override >= 0 ? static_cast<size_t>(depth_override)
+                                         : vec->prefetch_depth_;
       size_t rem = vec_->size_ % vec_->items_per_block_;
+      // Resuming inside a partial tail block re-reads it; that path (and
+      // devices without an uncounted plane) stays synchronous.
+      if (rem == 0 && depth > 0 && vec->dev_->SupportsUncounted()) {
+        depth_ = depth;
+        grp_[0].data.reset(new char[depth_ * vec->dev_->block_size()]());
+        return;
+      }
+      buf_.reset(new char[vec->dev_->block_size()]);
       if (rem != 0) {
+        // The tail block id is kept and rewritten in place by the next
+        // flush.
         pending_id_ = vec_->blocks_.back();
         vec_->blocks_.pop_back();
         status_ = vec_->dev_->Read(pending_id_, buf_.get());
@@ -119,9 +216,37 @@ class ExtVector {
       }
     }
 
+    ~Writer() {
+      // In-flight group writes target grp_ buffers; never free them early.
+      // Touch vec_ only when a flight exists — a drained writer may
+      // legally outlive its vector. Settling (not dropping) keeps the
+      // charge for writes that physically landed, like the sync path.
+      if (grp_[0].in_flight || grp_[1].in_flight) {
+        for (int i = 0; i < 2; ++i) (void)SettleGroup(i);
+      }
+    }
+
+    Writer(Writer&&) noexcept = default;
+    Writer(const Writer&) = delete;
+    Writer& operator=(const Writer&) = delete;
+
     /// Append one item; returns false on device error (see status()).
     bool Append(const T& v) {
       if (!status_.ok()) return false;
+      if (depth_ > 0) {
+        const size_t bs = vec_->dev_->block_size();
+        const size_t ipb = vec_->items_per_block_;
+        char* dst = grp_[gcur_].data.get() + (gitems_ / ipb) * bs +
+                    (gitems_ % ipb) * sizeof(T);
+        std::memcpy(dst, &v, sizeof(T));
+        gitems_++;
+        vec_->size_++;
+        if (gitems_ == depth_ * ipb) {
+          status_ = FlushGroup(/*final_flush=*/false);
+          return status_.ok();
+        }
+        return true;
+      }
       std::memcpy(buf_.get() + fill_ * sizeof(T), &v, sizeof(T));
       fill_++;
       vec_->size_++;
@@ -132,8 +257,17 @@ class ExtVector {
       return true;
     }
 
-    /// Flush the trailing partial block. Must be called before reading.
+    /// Flush all buffered items and wait out in-flight writes. Must be
+    /// called before reading.
     Status Finish() {
+      if (depth_ > 0) {
+        if (status_.ok() && gitems_ > 0) status_ = FlushGroup(true);
+        for (int i = 0; i < 2; ++i) {
+          Status s = SettleGroup(i);
+          if (status_.ok() && !s.ok()) status_ = s;
+        }
+        return status_;
+      }
       if (status_.ok() && fill_ > 0) {
         // Zero the tail so never-written bytes are defined.
         std::memset(buf_.get() + fill_ * sizeof(T), 0,
@@ -155,33 +289,130 @@ class ExtVector {
       return Status::OK();
     }
 
+    /// Hand the staged group to the device as one vectored write. Blocks
+    /// are allocated and charged here — the identical totals the per-block
+    /// synchronous writer reaches, in one syscall and (with an engine)
+    /// off the caller's critical path.
+    Status FlushGroup(bool final_flush) {
+      BlockDevice* dev = vec_->dev_;
+      const size_t bs = dev->block_size();
+      const size_t ipb = vec_->items_per_block_;
+      IoWindow<const void*>& g = grp_[gcur_];
+      size_t nblks = (gitems_ + ipb - 1) / ipb;
+      size_t rem = gitems_ % ipb;
+      if (final_flush && rem != 0) {
+        // Zero the tail so never-written bytes are defined.
+        std::memset(g.data.get() + (nblks - 1) * bs + rem * sizeof(T), 0,
+                    bs - rem * sizeof(T));
+      }
+      g.ids.resize(nblks);
+      g.ptrs.resize(nblks);
+      for (size_t b = 0; b < nblks; ++b) {
+        g.ids[b] = dev->Allocate();
+        g.ptrs[b] = g.data.get() + b * bs;
+        vec_->blocks_.push_back(g.ids[b]);
+      }
+      IoEngine* engine = dev->io_engine();
+      if (engine != nullptr && dev->SupportsAsync() && !final_flush) {
+        g.ticket = engine->Submit(
+            [dev, ids = g.ids.data(), ptrs = g.ptrs.data(), nblks] {
+              return dev->WriteBatchUncounted(ids, ptrs, nblks);
+            });
+        g.in_flight = true;
+        g.active = true;
+        pending_charge_[gcur_] = nblks;  // charged when the flight lands
+        gcur_ = 1 - gcur_;
+        IoWindow<const void*>& next = grp_[gcur_];
+        if (!next.data) next.data.reset(new char[depth_ * bs]());
+        VEM_RETURN_IF_ERROR(SettleGroup(gcur_));  // buffer reuse barrier
+      } else {
+        VEM_RETURN_IF_ERROR(
+            dev->WriteBatchUncounted(g.ids.data(), g.ptrs.data(), nblks));
+        dev->AccountWrites(nblks);
+      }
+      gitems_ = 0;
+      return Status::OK();
+    }
+
+    /// Wait out group `i`'s flight (if any) and charge its blocks on
+    /// success — only writes that physically landed are charged, the
+    /// exact totals the per-block synchronous writer reaches even when a
+    /// device error cuts the stream short.
+    Status SettleGroup(int i) {
+      IoWindow<const void*>& g = grp_[i];
+      Status s = g.Ready(vec_->dev_->io_engine());
+      if (s.ok() && pending_charge_[i] > 0) {
+        vec_->dev_->AccountWrites(pending_charge_[i]);
+      }
+      pending_charge_[i] = 0;
+      return s;
+    }
+
     ExtVector* vec_;
     std::unique_ptr<char[]> buf_;
     size_t fill_ = 0;
     Status status_;
     bool has_pending_id_ = false;
     uint64_t pending_id_ = 0;
+    // Write-behind state (depth_ == 0 means synchronous).
+    size_t depth_ = 0;
+    size_t gitems_ = 0;
+    int gcur_ = 0;
+    IoWindow<const void*> grp_[2];
+    size_t pending_charge_[2] = {0, 0};
   };
 
-  /// Sequential reader over [start, size). Owns one block of buffer memory;
-  /// costs one device read per block touched.
+  /// Sequential reader over [start, size). Synchronous mode owns one block
+  /// of buffer memory and costs one device read per block touched. With
+  /// read-ahead armed, the reader double-buffers two K-block windows: the
+  /// window being consumed and the next one, fetched as a single vectored
+  /// read (in the background when the device is async-capable). The PDM
+  /// charge is identical: one read each time the stream enters a block.
   class Reader {
    public:
-    explicit Reader(const ExtVector* vec, size_t start = 0)
-        : vec_(vec), pos_(start),
-          buf_(new char[vec->dev_->block_size()]) {}
+    /// @param depth_override -1 = use vec->prefetch_depth(); else K.
+    explicit Reader(const ExtVector* vec, size_t start = 0,
+                    int depth_override = -1)
+        : vec_(vec), pos_(start) {
+      size_t depth = depth_override >= 0 ? static_cast<size_t>(depth_override)
+                                         : vec->prefetch_depth_;
+      if (depth > 0 && vec_->dev_->SupportsUncounted()) {
+        depth_ = depth;
+      } else {
+        buf_.reset(new char[vec->dev_->block_size()]);
+      }
+    }
+
+    ~Reader() {
+      // See ~Writer: dereference vec_ only while a fill is in flight.
+      if (win_[0].in_flight || win_[1].in_flight) {
+        IoEngine* engine = vec_->dev_->io_engine();
+        for (auto& w : win_) w.Drop(engine);
+      }
+    }
+
+    Reader(Reader&&) noexcept = default;
+    Reader(const Reader&) = delete;
+    Reader& operator=(const Reader&) = delete;
 
     /// Read the next item into *out; returns false at end or on error.
     bool Next(T* out) {
       if (!status_.ok() || pos_ >= vec_->size_) return false;
       size_t blk = pos_ / vec_->items_per_block_;
-      if (!buf_valid_ || blk != cur_block_) {
-        status_ = vec_->dev_->Read(vec_->blocks_[blk], buf_.get());
-        if (!status_.ok()) return false;
-        cur_block_ = blk;
-        buf_valid_ = true;
+      const char* src;
+      if (depth_ > 0) {
+        src = WindowBlock(blk);
+        if (src == nullptr) return false;
+      } else {
+        if (!buf_valid_ || blk != cur_block_) {
+          status_ = vec_->dev_->Read(vec_->blocks_[blk], buf_.get());
+          if (!status_.ok()) return false;
+          cur_block_ = blk;
+          buf_valid_ = true;
+        }
+        src = buf_.get();
       }
-      std::memcpy(out, buf_.get() + (pos_ % vec_->items_per_block_) * sizeof(T),
+      std::memcpy(out, src + (pos_ % vec_->items_per_block_) * sizeof(T),
                   sizeof(T));
       pos_++;
       return true;
@@ -204,18 +435,90 @@ class ExtVector {
     void Seek(size_t pos) { pos_ = pos; }
 
    private:
+    /// Return the in-window bytes of block `blk`, rotating/refilling the
+    /// double buffer as the stream advances. Charges one PDM read per
+    /// block entered — when and only when the synchronous reader would
+    /// have issued its read.
+    const char* WindowBlock(size_t blk) {
+      IoEngine* engine = vec_->dev_->io_engine();
+      if (!win_[cur_].Covers(blk)) {
+        IoWindow<void*>& next = win_[1 - cur_];
+        if (next.Covers(blk)) {
+          status_ = next.Ready(engine);
+          if (!status_.ok()) return nullptr;
+          size_t follow = next.first_blk + next.nblks;
+          cur_ = 1 - cur_;
+          StartFill(win_[1 - cur_], follow);
+        } else {
+          // Cold start or a jump outside both windows: restart the
+          // pipeline at `blk`.
+          for (auto& w : win_) w.Drop(engine);
+          StartFill(win_[cur_], blk);
+          status_ = win_[cur_].Ready(engine);
+          if (!status_.ok()) return nullptr;
+          StartFill(win_[1 - cur_], blk + win_[cur_].nblks);
+        }
+      }
+      IoWindow<void*>& w = win_[cur_];
+      if (!entered_valid_ || blk != entered_blk_) {
+        vec_->dev_->AccountReads(1);
+        entered_blk_ = blk;
+        entered_valid_ = true;
+      }
+      return w.data.get() + (blk - w.first_blk) * vec_->dev_->block_size();
+    }
+
+    /// Begin fetching window `w` = blocks [first_blk, first_blk + K) of
+    /// the vector (clipped to its end): one vectored uncounted read,
+    /// submitted to the engine when the device allows background I/O,
+    /// performed inline otherwise. Errors surface when consumed.
+    void StartFill(IoWindow<void*>& w, size_t first_blk) {
+      w.active = false;
+      w.st = Status::OK();
+      w.nblks = 0;
+      if (first_blk >= vec_->blocks_.size()) return;
+      BlockDevice* dev = vec_->dev_;
+      const size_t bs = dev->block_size();
+      if (!w.data) w.data.reset(new char[depth_ * bs]);
+      w.first_blk = first_blk;
+      w.nblks = std::min(depth_, vec_->blocks_.size() - first_blk);
+      w.ids.assign(vec_->blocks_.begin() + first_blk,
+                   vec_->blocks_.begin() + first_blk + w.nblks);
+      w.ptrs.resize(w.nblks);
+      for (size_t i = 0; i < w.nblks; ++i) w.ptrs[i] = w.data.get() + i * bs;
+      IoEngine* engine = dev->io_engine();
+      if (engine != nullptr && dev->SupportsAsync()) {
+        w.ticket = engine->Submit(
+            [dev, ids = w.ids.data(), ptrs = w.ptrs.data(), n = w.nblks] {
+              return dev->ReadBatchUncounted(ids, ptrs, n);
+            });
+        w.in_flight = true;
+      } else {
+        w.st = dev->ReadBatchUncounted(w.ids.data(), w.ptrs.data(), w.nblks);
+      }
+      w.active = true;
+    }
+
     const ExtVector* vec_;
     size_t pos_;
     std::unique_ptr<char[]> buf_;
     size_t cur_block_ = 0;
     bool buf_valid_ = false;
     Status status_;
+    // Read-ahead state (depth_ == 0 means synchronous).
+    size_t depth_ = 0;
+    int cur_ = 0;
+    size_t entered_blk_ = 0;
+    bool entered_valid_ = false;
+    IoWindow<void*> win_[2];
   };
 
   /// Convenience: bulk-load from an in-memory span (test helper; still
   /// performs the blocked writes, so I/O accounting is honest).
-  Status AppendAll(const T* data, size_t n) {
-    Writer w(this);
+  /// `depth_override` is forwarded to the Writer (-1 = the vector's own
+  /// prefetch depth).
+  Status AppendAll(const T* data, size_t n, int depth_override = -1) {
+    Writer w(this, depth_override);
     for (size_t i = 0; i < n; ++i) {
       if (!w.Append(data[i])) return w.status();
     }
@@ -241,6 +544,7 @@ class ExtVector {
   size_t items_per_block_ = 0;
   std::vector<uint64_t> blocks_;
   size_t size_ = 0;
+  size_t prefetch_depth_ = 0;
 };
 
 }  // namespace vem

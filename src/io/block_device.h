@@ -5,6 +5,18 @@
 // the counters ARE the cost model. Algorithms never touch bytes on
 // "disk" except through Read/Write here (directly, via streams, or via
 // the BufferPool), so measured I/O counts are exact.
+//
+// Two access planes:
+//  - the COUNTED plane (Read/Write/ReadBatch/WriteBatch) charges IoStats
+//    as it transfers — the plane every algorithm uses;
+//  - the UNCOUNTED plane (*Uncounted) moves bytes without accounting.
+//    It exists for the async I/O engine: read-ahead/write-behind streams
+//    perform physical transfers early on engine threads, then charge the
+//    PDM cost via AccountReads/AccountWrites in the consuming thread at
+//    the moment the synchronous path would have done the I/O. Totals stay
+//    bit-identical whether overlap is on or off; speculative blocks that
+//    are never consumed are never charged (the PDM prices algorithmic
+//    accesses, not hardware prefetches).
 #pragma once
 
 #include <cstdint>
@@ -13,6 +25,8 @@
 #include "util/status.h"
 
 namespace vem {
+
+class IoEngine;
 
 /// Abstract block-granular storage device with block allocation.
 class BlockDevice {
@@ -28,6 +42,76 @@ class BlockDevice {
   /// Write block `id` from `buf` (must hold block_size() bytes).
   virtual Status Write(uint64_t id, const void* buf) = 0;
 
+  /// Vectored read of `n` blocks: ids[i] -> bufs[i]. Counted exactly like
+  /// the equivalent Read loop (n block reads, n PDM steps on one disk).
+  /// The default IS that loop; devices with a faster path (preadv
+  /// coalescing of contiguous ids) override it.
+  virtual Status ReadBatch(const uint64_t* ids, void* const* bufs, size_t n) {
+    for (size_t i = 0; i < n; ++i) VEM_RETURN_IF_ERROR(Read(ids[i], bufs[i]));
+    return Status::OK();
+  }
+
+  /// Vectored write of `n` blocks: bufs[i] -> ids[i]. Counting mirrors the
+  /// equivalent Write loop; default is that loop.
+  virtual Status WriteBatch(const uint64_t* ids, const void* const* bufs,
+                            size_t n) {
+    for (size_t i = 0; i < n; ++i) VEM_RETURN_IF_ERROR(Write(ids[i], bufs[i]));
+    return Status::OK();
+  }
+
+  // ---------------------------------------------------- uncounted plane
+
+  /// True when the *Uncounted transfers below are implemented. Streams
+  /// only engage read-ahead/write-behind on such devices.
+  virtual bool SupportsUncounted() const { return false; }
+
+  /// True when *Uncounted calls are additionally safe to run on IoEngine
+  /// worker threads concurrently with Allocate/Free/metadata work on the
+  /// owning thread (transfers touch only immutable or atomic state).
+  virtual bool SupportsAsync() const { return false; }
+
+  /// Physical transfer without accounting. Devices that return true from
+  /// SupportsUncounted() must override; others reject.
+  virtual Status ReadUncounted(uint64_t id, void* buf) {
+    (void)id, (void)buf;
+    return Status::NotSupported("device has no uncounted read path");
+  }
+  virtual Status WriteUncounted(uint64_t id, const void* buf) {
+    (void)id, (void)buf;
+    return Status::NotSupported("device has no uncounted write path");
+  }
+
+  /// Vectored uncounted transfers; defaults loop over the single-block
+  /// forms, overrides coalesce.
+  virtual Status ReadBatchUncounted(const uint64_t* ids, void* const* bufs,
+                                    size_t n) {
+    for (size_t i = 0; i < n; ++i)
+      VEM_RETURN_IF_ERROR(ReadUncounted(ids[i], bufs[i]));
+    return Status::OK();
+  }
+  virtual Status WriteBatchUncounted(const uint64_t* ids,
+                                     const void* const* bufs, size_t n) {
+    for (size_t i = 0; i < n; ++i)
+      VEM_RETURN_IF_ERROR(WriteUncounted(ids[i], bufs[i]));
+    return Status::OK();
+  }
+
+  /// Charge deferred PDM cost for `blocks` transfers done on the uncounted
+  /// plane, as if each were a synchronous single-block op on this device.
+  /// Call from the consuming thread only (counters are not atomic).
+  void AccountReads(uint64_t blocks) {
+    stats_.block_reads += blocks;
+    stats_.parallel_reads += blocks;
+    stats_.bytes_read += blocks * block_size();
+  }
+  void AccountWrites(uint64_t blocks) {
+    stats_.block_writes += blocks;
+    stats_.parallel_writes += blocks;
+    stats_.bytes_written += blocks * block_size();
+  }
+
+  // ----------------------------------------------------------- plumbing
+
   /// Allocate a fresh block id (contents undefined until written).
   virtual uint64_t Allocate() = 0;
 
@@ -37,12 +121,18 @@ class BlockDevice {
   /// Number of live (allocated, not freed) blocks.
   virtual uint64_t num_allocated() const = 0;
 
+  /// Optional worker pool for background transfers. Not owned; must
+  /// outlive all I/O on this device. Null means fully synchronous.
+  IoEngine* io_engine() const { return engine_; }
+  void set_io_engine(IoEngine* engine) { engine_ = engine; }
+
   /// I/O accounting for this device.
   IoStats& stats() { return stats_; }
   const IoStats& stats() const { return stats_; }
 
  protected:
   IoStats stats_;
+  IoEngine* engine_ = nullptr;
 };
 
 /// RAII probe: captures a device's counters on construction; delta() gives

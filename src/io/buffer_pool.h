@@ -83,12 +83,14 @@ class PageRef {
       : pool_(pool), id_(id), data_(data) {}
   PageRef(PageRef&& o) noexcept { *this = std::move(o); }
   PageRef& operator=(PageRef&& o) noexcept {
+    if (this == &o) return *this;  // self-move must not drop the pin
     Release();
     pool_ = o.pool_;
     id_ = o.id_;
     data_ = o.data_;
     dirty_ = o.dirty_;
     o.pool_ = nullptr;
+    o.dirty_ = false;  // moved-from ref must not re-dirty a future page
     return *this;
   }
   PageRef(const PageRef&) = delete;

@@ -1,0 +1,78 @@
+#include "io/io_engine.h"
+
+namespace vem {
+
+IoEngine::IoEngine(size_t num_threads) {
+  if (num_threads == 0) num_threads = 1;
+  workers_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+IoEngine::~IoEngine() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    // Let workers drain the queue before exiting: unredeemed writes must
+    // still reach the device even if the owner never called Wait.
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+IoEngine::Ticket IoEngine::Submit(std::function<Status()> op) {
+  Ticket t;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    t = next_ticket_++;
+    queue_.push_back(Job{t, std::move(op)});
+  }
+  work_cv_.notify_one();
+  return t;
+}
+
+Status IoEngine::Wait(Ticket t) {
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [this, t] { return done_.count(t) != 0; });
+  auto it = done_.find(t);
+  Status s = std::move(it->second);
+  done_.erase(it);
+  return s;
+}
+
+Status IoEngine::RunBatch(std::vector<std::function<Status()>> ops) {
+  if (ops.empty()) return Status::OK();
+  // Farm out all but the first op; run that one here so the caller's core
+  // contributes instead of blocking.
+  std::vector<Ticket> tickets;
+  tickets.reserve(ops.size() - 1);
+  for (size_t i = 1; i < ops.size(); ++i) tickets.push_back(Submit(std::move(ops[i])));
+  Status first = ops[0]();
+  for (Ticket t : tickets) {
+    Status s = Wait(t);
+    if (first.ok() && !s.ok()) first = s;
+  }
+  return first;
+}
+
+void IoEngine::WorkerLoop() {
+  for (;;) {
+    Job job;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ set and nothing left to drain
+      job = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    Status s = job.op();
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      done_[job.ticket] = std::move(s);
+    }
+    done_cv_.notify_all();
+  }
+}
+
+}  // namespace vem

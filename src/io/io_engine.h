@@ -1,0 +1,85 @@
+// IoEngine: a small worker-thread pool that executes block transfers in
+// the background, so computation overlaps I/O and the D transfers of one
+// PDM parallel step really happen concurrently.
+//
+// The engine runs opaque Status-returning jobs; devices and streams build
+// their async paths on top:
+//  - FileBlockDevice exposes uncounted raw transfers that are safe to run
+//    on engine threads (pread/pwrite touch only the fd);
+//  - StripedDevice fans one logical transfer out to its D children, one
+//    job per child disk, and waits for all of them — one disk's wall-clock
+//    per parallel I/O step, exactly the PDM cost accounting;
+//  - ExtVector Reader/Writer submit K-block read-ahead / write-behind
+//    windows and account the PDM cost in the consuming thread, so IoStats
+//    stay bit-identical to the synchronous path.
+//
+// Counting discipline: engine jobs must never touch IoStats. Physical
+// transfers issued speculatively are charged when (and only when) the
+// algorithm consumes them — the PDM charges algorithmic block accesses,
+// not hardware prefetches.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "util/status.h"
+
+namespace vem {
+
+/// Fixed-size worker pool with ticketed submit/wait.
+class IoEngine {
+ public:
+  /// Identifies one submitted job; pass to Wait() exactly once.
+  using Ticket = uint64_t;
+
+  /// @param num_threads worker count; clamped to >= 1. A handful suffices:
+  ///        workers spend their time blocked in pread/pwrite, not on CPU.
+  explicit IoEngine(size_t num_threads = 2);
+
+  /// Drains the queue (waits for every submitted job) and joins workers.
+  ~IoEngine();
+
+  IoEngine(const IoEngine&) = delete;
+  IoEngine& operator=(const IoEngine&) = delete;
+
+  /// Enqueue `op` for background execution. The closure must be safe to
+  /// run on another thread and must not touch IoStats (see header note).
+  Ticket Submit(std::function<Status()> op);
+
+  /// Block until the job behind `t` finishes; returns its Status. Each
+  /// ticket is redeemable once (the result is consumed).
+  Status Wait(Ticket t);
+
+  /// Run `ops` with maximal concurrency and return the first error (all
+  /// ops run to completion regardless). The calling thread executes one
+  /// op itself instead of idling — with D jobs on D-1 busy workers this
+  /// still completes in one op's wall-clock time.
+  Status RunBatch(std::vector<std::function<Status()>> ops);
+
+  size_t num_threads() const { return workers_.size(); }
+
+ private:
+  void WorkerLoop();
+
+  struct Job {
+    Ticket ticket;
+    std::function<Status()> op;
+  };
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;  // signals workers: queue non-empty/stop
+  std::condition_variable done_cv_;  // signals waiters: a job completed
+  std::deque<Job> queue_;
+  std::unordered_map<Ticket, Status> done_;
+  Ticket next_ticket_ = 1;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace vem

@@ -27,6 +27,10 @@ struct IoStats {
 
   void Reset() { *this = IoStats{}; }
 
+  /// Exact equality across every counter — the contract asserted by the
+  /// async-vs-sync identity tests (prefetching must not change the cost).
+  bool operator==(const IoStats&) const = default;
+
   IoStats operator-(const IoStats& o) const {
     IoStats r;
     r.block_reads = block_reads - o.block_reads;

@@ -5,7 +5,7 @@ namespace vem {
 MemoryBlockDevice::MemoryBlockDevice(size_t block_size)
     : block_size_(block_size) {}
 
-Status MemoryBlockDevice::Read(uint64_t id, void* buf) {
+Status MemoryBlockDevice::ReadUncounted(uint64_t id, void* buf) {
   if (id >= blocks_.size() || blocks_[id] == nullptr) {
     return Status::InvalidArgument("read of unallocated block " +
                                    std::to_string(id));
@@ -15,6 +15,21 @@ Status MemoryBlockDevice::Read(uint64_t id, void* buf) {
                               std::to_string(id));
   }
   std::memcpy(buf, blocks_[id].get(), block_size_);
+  return Status::OK();
+}
+
+Status MemoryBlockDevice::WriteUncounted(uint64_t id, const void* buf) {
+  if (id >= blocks_.size() || blocks_[id] == nullptr) {
+    return Status::InvalidArgument("write of unallocated block " +
+                                   std::to_string(id));
+  }
+  std::memcpy(blocks_[id].get(), buf, block_size_);
+  written_[id] = true;
+  return Status::OK();
+}
+
+Status MemoryBlockDevice::Read(uint64_t id, void* buf) {
+  VEM_RETURN_IF_ERROR(ReadUncounted(id, buf));
   stats_.block_reads++;
   stats_.parallel_reads++;
   stats_.bytes_read += block_size_;
@@ -22,12 +37,7 @@ Status MemoryBlockDevice::Read(uint64_t id, void* buf) {
 }
 
 Status MemoryBlockDevice::Write(uint64_t id, const void* buf) {
-  if (id >= blocks_.size() || blocks_[id] == nullptr) {
-    return Status::InvalidArgument("write of unallocated block " +
-                                   std::to_string(id));
-  }
-  std::memcpy(blocks_[id].get(), buf, block_size_);
-  written_[id] = true;
+  VEM_RETURN_IF_ERROR(WriteUncounted(id, buf));
   stats_.block_writes++;
   stats_.parallel_writes++;
   stats_.bytes_written += block_size_;

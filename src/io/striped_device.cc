@@ -1,5 +1,9 @@
 #include "io/striped_device.h"
 
+#include <functional>
+
+#include "io/io_engine.h"
+
 namespace vem {
 
 StripedDevice::StripedDevice(size_t num_disks, size_t child_block_size)
@@ -11,11 +15,45 @@ StripedDevice::StripedDevice(size_t num_disks, size_t child_block_size)
   }
 }
 
+StripedDevice::StripedDevice(std::vector<std::unique_ptr<BlockDevice>> disks)
+    : logical_block_size_(0), child_block_size_(0), disks_(std::move(disks)) {
+  child_block_size_ = disks_.empty() ? 0 : disks_[0]->block_size();
+  logical_block_size_ = disks_.size() * child_block_size_;
+  valid_ = !disks_.empty();
+  for (const auto& d : disks_) {
+    // Fresh children with one shared block size, or lockstep allocation
+    // cannot hold and stripes would land on mismatched physical ids.
+    if (d->block_size() != child_block_size_ || d->num_allocated() != 0) {
+      valid_ = false;
+    }
+  }
+}
+
+Status StripedDevice::ParallelStep(const std::function<Status(size_t)>& op) {
+  if (!valid_) {
+    return Status::InvalidArgument(
+        "StripedDevice children violate striping preconditions");
+  }
+  if (engine_ == nullptr || disks_.size() < 2) {
+    for (size_t d = 0; d < disks_.size(); ++d) VEM_RETURN_IF_ERROR(op(d));
+    return Status::OK();
+  }
+  // One job per disk; each touches only its own child device, so the
+  // children's counters see single-threaded traffic. RunBatch returns
+  // after every stripe lands: the step is atomic to the caller.
+  std::vector<std::function<Status()>> jobs;
+  jobs.reserve(disks_.size());
+  for (size_t d = 0; d < disks_.size(); ++d) {
+    jobs.push_back([&op, d] { return op(d); });
+  }
+  return engine_->RunBatch(std::move(jobs));
+}
+
 Status StripedDevice::Read(uint64_t id, void* buf) {
   char* out = static_cast<char*>(buf);
-  for (size_t d = 0; d < disks_.size(); ++d) {
-    VEM_RETURN_IF_ERROR(disks_[d]->Read(id, out + d * child_block_size_));
-  }
+  VEM_RETURN_IF_ERROR(ParallelStep([&](size_t d) {
+    return disks_[d]->Read(id, out + d * child_block_size_);
+  }));
   stats_.block_reads += disks_.size();
   stats_.parallel_reads++;  // all D stripes move in one PDM step
   stats_.bytes_read += logical_block_size_;
@@ -24,9 +62,9 @@ Status StripedDevice::Read(uint64_t id, void* buf) {
 
 Status StripedDevice::Write(uint64_t id, const void* buf) {
   const char* in = static_cast<const char*>(buf);
-  for (size_t d = 0; d < disks_.size(); ++d) {
-    VEM_RETURN_IF_ERROR(disks_[d]->Write(id, in + d * child_block_size_));
-  }
+  VEM_RETURN_IF_ERROR(ParallelStep([&](size_t d) {
+    return disks_[d]->Write(id, in + d * child_block_size_);
+  }));
   stats_.block_writes += disks_.size();
   stats_.parallel_writes++;
   stats_.bytes_written += logical_block_size_;
@@ -34,18 +72,20 @@ Status StripedDevice::Write(uint64_t id, const void* buf) {
 }
 
 uint64_t StripedDevice::Allocate() {
+  if (!valid_) return 0;  // transfers on this id fail with InvalidArgument
   // Children allocate in lockstep so one logical id addresses the same
   // physical id on every disk.
   uint64_t id = disks_[0]->Allocate();
   for (size_t d = 1; d < disks_.size(); ++d) {
     uint64_t cid = disks_[d]->Allocate();
-    (void)cid;  // identical by construction
+    if (cid != id) valid_ = false;  // lockstep broken: fail fast on use
   }
   allocated_++;
   return id;
 }
 
 void StripedDevice::Free(uint64_t id) {
+  if (!valid_) return;
   for (auto& disk : disks_) disk->Free(id);
   allocated_--;
 }

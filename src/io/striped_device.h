@@ -7,8 +7,16 @@
 // factor-D speedup; sorting pays the log-base penalty log_{M/(DB)} instead
 // of the per-disk-optimal log_{M/B} — exactly the trade-off the survey
 // quantifies (bench_disk_striping reproduces it).
+//
+// With an IoEngine attached (set_io_engine), the D child transfers of one
+// step are issued concurrently — one job per disk — so a parallel I/O step
+// costs ~one disk's wall-clock, making the PDM's "one unit per parallel
+// step" accounting physically true for real (file-backed) child disks.
+// Stats are unaffected: each child still counts its own transfer, the
+// parent still counts one parallel step per D physical blocks.
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -18,14 +26,25 @@
 namespace vem {
 
 /// Logical device of block size D * child_block_size striped across D
-/// in-memory child disks. Stats on this device count PDM parallel steps
+/// child disks. Stats on this device count PDM parallel steps
 /// (parallel_reads/writes) and physical transfers (block_reads/writes,
 /// D per step). Child devices are owned.
 class StripedDevice final : public BlockDevice {
  public:
+  /// In-memory striping (deterministic counting benches).
   /// @param num_disks D >= 1
   /// @param child_block_size bytes per physical block on each disk
   StripedDevice(size_t num_disks, size_t child_block_size);
+
+  /// Striping over caller-built child disks (e.g. one FileBlockDevice per
+  /// physical spindle/file). Children must be non-empty, share one block
+  /// size, and be fresh (nothing allocated yet) — lockstep allocation is
+  /// what lets one logical id address the same physical id on every disk.
+  /// Violations mark the device invalid and every transfer fails.
+  explicit StripedDevice(std::vector<std::unique_ptr<BlockDevice>> disks);
+
+  /// False when the child-disk preconditions above were violated.
+  bool valid() const { return valid_; }
 
   size_t block_size() const override { return logical_block_size_; }
   Status Read(uint64_t id, void* buf) override;
@@ -39,10 +58,15 @@ class StripedDevice final : public BlockDevice {
   const IoStats& disk_stats(size_t d) const { return disks_[d]->stats(); }
 
  private:
+  /// One parallel step: run the per-disk transfer `op(d)` on every child,
+  /// concurrently when an engine is attached, sequentially otherwise.
+  Status ParallelStep(const std::function<Status(size_t)>& op);
+
   size_t logical_block_size_;
   size_t child_block_size_;
-  std::vector<std::unique_ptr<MemoryBlockDevice>> disks_;
+  std::vector<std::unique_ptr<BlockDevice>> disks_;
   uint64_t allocated_ = 0;
+  bool valid_ = true;
 };
 
 }  // namespace vem

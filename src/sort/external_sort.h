@@ -71,6 +71,15 @@ class ExternalSorter {
   /// survey recounts).
   void set_replacement_selection(bool on) { replacement_selection_ = on; }
 
+  /// K-block read-ahead on every run reader and write-behind on every run
+  /// writer (0 = synchronous, the default). In the merge loop each of the
+  /// k run readers keeps its refill in flight while the loser tree drains
+  /// the others — the batched-refill overlap that makes the merge run at
+  /// device speed. Never changes IoStats (accounting is deferred to
+  /// consumption; see block_device.h); costs ~(k + 1) * 2K blocks of RAM
+  /// on top of M, so keep K small relative to M/B.
+  void set_prefetch_depth(size_t k) { prefetch_depth_ = k; }
+
   /// Sort `input` into `output`. `output` must be an empty vector on the
   /// same device. The input is not modified.
   Status Sort(const ExtVector<T>& input, ExtVector<T>* output) {
@@ -120,7 +129,7 @@ class ExternalSorter {
   Status FormRuns(const ExtVector<T>& input, std::deque<ExtVector<T>>* runs) {
     if (replacement_selection_) return FormRunsReplacement(input, runs);
     const size_t run_items = run_length();
-    typename ExtVector<T>::Reader reader(&input);
+    typename ExtVector<T>::Reader reader(&input, 0, depth());
     std::vector<T> buf;
     buf.reserve(std::min(run_items, input.size()));
     T item;
@@ -134,7 +143,7 @@ class ExternalSorter {
       VEM_RETURN_IF_ERROR(reader.status());
       std::sort(buf.begin(), buf.end(), cmp_);
       ExtVector<T> run(dev_);
-      VEM_RETURN_IF_ERROR(run.AppendAll(buf.data(), buf.size()));
+      VEM_RETURN_IF_ERROR(run.AppendAll(buf.data(), buf.size(), depth()));
       runs->push_back(std::move(run));
     }
     return reader.status();
@@ -154,7 +163,7 @@ class ExternalSorter {
       return cmp_(b.item, a.item);
     };
     const size_t heap_items = run_length();
-    typename ExtVector<T>::Reader reader(&input);
+    typename ExtVector<T>::Reader reader(&input, 0, depth());
     std::vector<Entry> heap;
     heap.reserve(std::min(heap_items, input.size()));
     T item;
@@ -179,7 +188,8 @@ class ExternalSorter {
         }
         cur_epoch = e.epoch;
         run = std::make_unique<ExtVector<T>>(dev_);
-        writer = std::make_unique<typename ExtVector<T>::Writer>(run.get());
+        writer =
+            std::make_unique<typename ExtVector<T>::Writer>(run.get(), depth());
       }
       if (!writer->Append(e.item)) return writer->status();
       if (!input_done) {
@@ -214,7 +224,7 @@ class ExternalSorter {
     }
     std::vector<typename ExtVector<T>::Reader> readers;
     readers.reserve(take);
-    for (auto& run : group) readers.emplace_back(&run);
+    for (auto& run : group) readers.emplace_back(&run, 0, depth());
 
     LoserTree<T, Cmp> tree(take, cmp_);
     for (size_t i = 0; i < take; ++i) {
@@ -224,7 +234,7 @@ class ExternalSorter {
     }
     tree.Build();
 
-    typename ExtVector<T>::Writer writer(out);
+    typename ExtVector<T>::Writer writer(out, depth());
     while (tree.HasWinner()) {
       if (!writer.Append(tree.top())) return writer.status();
       size_t src = tree.winner();
@@ -241,6 +251,13 @@ class ExternalSorter {
     return Status::OK();
   }
 
+  /// The prefetch knob as the stream-constructor override argument. An
+  /// unset knob defers to each vector's own prefetch depth (-1) instead
+  /// of force-disabling overlap on armed inputs.
+  int depth() const {
+    return prefetch_depth_ == 0 ? -1 : static_cast<int>(prefetch_depth_);
+  }
+
   BlockDevice* dev_;
   size_t memory_budget_;
   Cmp cmp_;
@@ -248,6 +265,7 @@ class ExternalSorter {
   size_t fan_in_cap_ = ~size_t{0};
   size_t run_length_cap_ = ~size_t{0};
   bool replacement_selection_ = false;
+  size_t prefetch_depth_ = 0;
 };
 
 /// Convenience wrapper: sort with default comparator.

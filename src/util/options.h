@@ -26,6 +26,19 @@ struct Options {
   /// Number of independent disks. PDM parameter D. Used by StripedDevice.
   size_t num_disks = 1;
 
+  /// K-block read-ahead / write-behind depth for streaming access
+  /// (ExtVector::set_prefetch_depth, ExternalSorter::set_prefetch_depth).
+  /// 0 (the default, matching the containers) keeps every stream
+  /// synchronous. Purely a wall-clock knob: the PDM counters are charged
+  /// at consumption time and stay bit-identical to the synchronous path.
+  /// Each armed stream stages 2 * prefetch_depth blocks of RAM.
+  size_t prefetch_depth = 0;
+
+  /// Worker threads for the background IoEngine (async submit/wait,
+  /// parallel striping). A handful suffices — workers block in
+  /// pread/pwrite rather than compute.
+  size_t io_threads = 2;
+
   /// Per-type block capacity: how many T fit in one block.
   template <typename T>
   size_t items_per_block() const {
