@@ -21,7 +21,7 @@ Status PagedBinarySearch(const ExtVector<uint64_t>& v, uint64_t key,
   *found = false;
   while (lo < hi) {
     size_t mid = (lo + hi) / 2;
-    uint64_t x;
+    uint64_t x = 0;
     VEM_RETURN_IF_ERROR(v.Get(mid, &x));
     if (x == key) {
       *found = true;

@@ -1,0 +1,311 @@
+// Experiment F-layers: prefetch armed across the scan-bound algorithm
+// layers — sync vs overlapped wall-clock at equal PDM cost, on buffered
+// and O_DIRECT (cold-cache) file devices.
+//
+// PR 1 gave ExternalSorter overlapped streams; this bench tracks the
+// same contract for every layer that now threads the knob: distribution
+// sort, sort-merge join, group-by, MR-BFS, the external priority queue,
+// and the distribution sweep. Each scenario runs twice on fresh file
+// devices — synchronous (depth 0, no engine) and armed (depth K +
+// IoEngine) — and asserts IoStats are bit-identical. The cold-cache
+// section repeats the sort on an O_DIRECT device, where transfers hit
+// real device latency instead of the page cache and the overlap (not
+// just the syscall coalescing) becomes visible.
+//
+// Emits BENCH_prefetch_layers.json (and prints it with --json).
+#include <chrono>
+#include <functional>
+
+#include "bench/bench_util.h"
+#include "core/relational.h"
+#include "geometry/segment_intersection.h"
+#include "graph/bfs.h"
+#include "io/file_block_device.h"
+#include "io/io_engine.h"
+#include "search/external_pq.h"
+#include "sort/distribution_sort.h"
+#include "util/options.h"
+#include "util/random.h"
+
+using namespace vem;
+using namespace vem::bench;
+
+namespace {
+
+constexpr size_t kBlockBytes = 4096;  // 512-aligned: direct-I/O capable
+constexpr size_t kMemBytes = 2 * 1024 * 1024;
+
+double Secs(std::chrono::steady_clock::time_point a,
+            std::chrono::steady_clock::time_point b) {
+  return std::chrono::duration<double>(b - a).count();
+}
+
+struct Run {
+  double seconds = 0;
+  IoStats cost;
+  bool direct_active = false;
+};
+
+struct JRow {
+  uint64_t id;
+  uint64_t key;
+};
+struct JOut {
+  uint64_t a;
+  uint64_t b;
+};
+
+// Each scenario measures only the algorithm (loading excluded), on a
+// fresh scratch device. `depth` 0 = synchronous; K>0 attaches `engine`.
+template <typename Body>
+Run Measure(const char* file_tag, size_t depth, IoEngine* engine,
+            bool direct, Body body) {
+  Options dev_opts;
+  dev_opts.block_size = kBlockBytes;
+  dev_opts.direct_io = direct;
+  FileBlockDevice dev(std::string("/tmp/vem_bench_layers_") + file_tag +
+                          ".bin",
+                      dev_opts);
+  if (!dev.valid()) {
+    std::fprintf(stderr, "cannot open scratch file for %s\n", file_tag);
+    return Run{};
+  }
+  if (depth > 0) dev.set_io_engine(engine);
+  Run run;
+  run.direct_active = dev.direct_io_active();
+  body(&dev, depth, &run);
+  dev.set_io_engine(nullptr);
+  return run;
+}
+
+void TimeBody(BlockDevice* dev, Run* run,
+              const std::function<Status()>& algo) {
+  IoProbe probe(*dev);
+  auto t0 = std::chrono::steady_clock::now();
+  Status s = algo();
+  auto t1 = std::chrono::steady_clock::now();
+  if (!s.ok()) std::fprintf(stderr, "bench body failed: %s\n",
+                            s.ToString().c_str());
+  run->seconds = Secs(t0, t1);
+  run->cost = probe.delta();
+}
+
+Run RunDistSort(size_t depth, IoEngine* engine, bool direct) {
+  return Measure("distsort", depth, engine, direct,
+                 [&](FileBlockDevice* dev, size_t k, Run* run) {
+    const size_t kItems = 1u << 21;  // 16 MiB of u64
+    Rng rng(41);
+    ExtVector<uint64_t> input(dev);
+    {
+      ExtVector<uint64_t>::Writer w(&input);
+      for (size_t i = 0; i < kItems; ++i) w.Append(rng.Next());
+      w.Finish();
+    }
+    DistributionSorter<uint64_t> sorter(dev, kMemBytes);
+    sorter.set_prefetch_depth(k);
+    ExtVector<uint64_t> out(dev);
+    TimeBody(dev, run, [&] { return sorter.Sort(input, &out); });
+  });
+}
+
+Run RunJoin(size_t depth, IoEngine* engine) {
+  return Measure("join", depth, engine, false,
+                 [&](FileBlockDevice* dev, size_t k, Run* run) {
+    const size_t kLeft = 1u << 20, kRight = 1u << 17;
+    Rng rng(42);
+    ExtVector<JRow> left(dev), right(dev);
+    {
+      ExtVector<JRow>::Writer lw(&left), rw(&right);
+      for (size_t i = 0; i < kLeft; ++i) {
+        lw.Append(JRow{i, rng.Uniform(kRight)});
+      }
+      for (size_t i = 0; i < kRight; ++i) lw.Append(JRow{i, i});
+      for (size_t i = 0; i < kRight; ++i) rw.Append(JRow{i, i});
+      lw.Finish();
+      rw.Finish();
+    }
+    ExtVector<JOut> out(dev);
+    TimeBody(dev, run, [&] {
+      return SortMergeJoin<JRow, JRow, JOut, uint64_t>(
+          left, right, &out, kMemBytes,
+          [](const JRow& r) { return r.key; },
+          [](const JRow& r) { return r.key; },
+          [](const JRow& l, const JRow& r) { return JOut{l.id, r.id}; }, k);
+    });
+  });
+}
+
+Run RunGroupBy(size_t depth, IoEngine* engine) {
+  return Measure("groupby", depth, engine, false,
+                 [&](FileBlockDevice* dev, size_t k, Run* run) {
+    const size_t kRows = 1u << 20;
+    Rng rng(43);
+    ExtVector<JRow> rows(dev);
+    {
+      ExtVector<JRow>::Writer w(&rows);
+      for (size_t i = 0; i < kRows; ++i) {
+        w.Append(JRow{rng.Uniform(1u << 14), rng.Uniform(1000)});
+      }
+      w.Finish();
+    }
+    ExtVector<JOut> out(dev);
+    TimeBody(dev, run, [&] {
+      return GroupByAggregate<JRow, uint64_t, uint64_t, JOut>(
+          rows, &out, kMemBytes, [](const JRow& r) { return r.id; },
+          [](const uint64_t&) { return uint64_t{0}; },
+          [](uint64_t* acc, const JRow& r) { *acc += r.key; },
+          [](const uint64_t& key, const uint64_t& acc) {
+            return JOut{key, acc};
+          },
+          k);
+    });
+  });
+}
+
+Run RunBfs(size_t depth, IoEngine* engine) {
+  return Measure("bfs", depth, engine, false,
+                 [&](FileBlockDevice* dev, size_t k, Run* run) {
+    const uint64_t v = 1u << 16;
+    Rng rng(44);
+    BufferPool pool(dev, 16);
+    ExtVector<Edge> edges(dev);
+    {
+      ExtVector<Edge>::Writer w(&edges);
+      for (uint64_t i = 0; i < v; ++i) w.Append(Edge{i, (i + 1) % v});
+      for (size_t i = 0; i < 2 * v; ++i) {
+        w.Append(Edge{rng.Uniform(v), rng.Uniform(v)});
+      }
+      w.Finish();
+    }
+    ExtGraph g(dev, &pool);
+    Status built = g.Build(edges, v, kMemBytes, /*symmetrize=*/true);
+    if (!built.ok()) {
+      std::fprintf(stderr, "graph build failed: %s\n",
+                   built.ToString().c_str());
+      return;
+    }
+    ExternalBfs bfs(dev, kMemBytes);
+    bfs.set_prefetch_depth(k);
+    ExtVector<VertexDist> out(dev);
+    TimeBody(dev, run, [&] { return bfs.Run(g, 0, &out); });
+  });
+}
+
+Run RunPq(size_t depth, IoEngine* engine) {
+  return Measure("pq", depth, engine, false,
+                 [&](FileBlockDevice* dev, size_t k, Run* run) {
+    const size_t kItems = 1u << 21;
+    Rng rng(45);
+    ExternalPriorityQueue<uint64_t> pq(dev, kMemBytes / 4);
+    pq.set_prefetch_depth(k);
+    TimeBody(dev, run, [&]() -> Status {
+      for (size_t i = 0; i < kItems; ++i) {
+        VEM_RETURN_IF_ERROR(pq.Push(rng.Next()));
+      }
+      uint64_t v;
+      while (!pq.empty()) {
+        VEM_RETURN_IF_ERROR(pq.Pop(&v));
+      }
+      return Status::OK();
+    });
+  });
+}
+
+Run RunSweep(size_t depth, IoEngine* engine) {
+  return Measure("sweep", depth, engine, false,
+                 [&](FileBlockDevice* dev, size_t k, Run* run) {
+    const size_t n = 1u << 17;
+    Rng rng(46);
+    ExtVector<HSegment> hs(dev);
+    ExtVector<VSegment> vs(dev);
+    {
+      ExtVector<HSegment>::Writer hw(&hs);
+      ExtVector<VSegment>::Writer vw(&vs);
+      for (size_t i = 0; i < n / 2; ++i) {
+        double x = rng.NextDouble() * 1000, y = rng.NextDouble() * 1000;
+        hw.Append(HSegment{y, x, x + rng.NextDouble() * 5, i});
+        double vx = rng.NextDouble() * 1000, vy = rng.NextDouble() * 1000;
+        vw.Append(VSegment{vx, vy, vy + rng.NextDouble() * 5, i});
+      }
+      hw.Finish();
+      vw.Finish();
+    }
+    OrthogonalSegmentIntersection osi(dev, kMemBytes);
+    osi.set_prefetch_depth(k);
+    ExtVector<IntersectionPair> out(dev);
+    TimeBody(dev, run, [&] { return osi.Run(hs, vs, &out); });
+  });
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opts;
+  opts.prefetch_depth = 16;
+  const size_t depth = opts.prefetch_depth;
+  IoEngine engine(opts.io_threads);
+
+  std::printf(
+      "# F-layers: prefetch armed in the scan-bound algorithm layers\n"
+      "# sync (K=0) vs armed (K=%zu + IoEngine, %zu workers)\n"
+      "# block = %zu B, M = %zu MiB, buffered + O_DIRECT cold-cache\n\n",
+      depth, opts.io_threads, kBlockBytes, kMemBytes / (1024 * 1024));
+
+  struct Row {
+    const char* name;
+    Run sync, armed;
+  };
+  Row rows[] = {
+      {"distribution sort", RunDistSort(0, nullptr, false),
+       RunDistSort(depth, &engine, false)},
+      {"sort-merge join", RunJoin(0, nullptr), RunJoin(depth, &engine)},
+      {"group-by", RunGroupBy(0, nullptr), RunGroupBy(depth, &engine)},
+      {"MR-BFS", RunBfs(0, nullptr), RunBfs(depth, &engine)},
+      {"external PQ", RunPq(0, nullptr), RunPq(depth, &engine)},
+      {"distribution sweep", RunSweep(0, nullptr),
+       RunSweep(depth, &engine)},
+      {"distribution sort (O_DIRECT)", RunDistSort(0, nullptr, true),
+       RunDistSort(depth, &engine, true)},
+  };
+
+  Table t({"layer", "sync s", "armed s", "speedup", "I/Os",
+           "stats identical"});
+  JsonReport report("prefetch_layers");
+  bool all_identical = true;
+  for (const Row& r : rows) {
+    bool identical = r.sync.cost == r.armed.cost;
+    all_identical = all_identical && identical;
+    t.AddRow({r.name, Fmt(r.sync.seconds, 3), Fmt(r.armed.seconds, 3),
+              Fmt(r.sync.seconds / std::max(r.armed.seconds, 1e-9), 2) + "x",
+              FmtInt(r.sync.cost.block_ios()),
+              identical ? "yes" : "NO (BUG)"});
+    report.Add(r.name, "sync_seconds", r.sync.seconds);
+    report.Add(r.name, "armed_seconds", r.armed.seconds);
+    report.Add(r.name, "speedup",
+               r.sync.seconds / std::max(r.armed.seconds, 1e-9));
+    report.Add(r.name, "block_ios", double(r.sync.cost.block_ios()));
+    report.Add(r.name, "stats_identical", identical ? 1.0 : 0.0);
+    report.Add(r.name, "direct_io_active", r.armed.direct_active ? 1.0 : 0.0);
+  }
+  t.Print();
+  std::printf(
+      "Expected shape: the widest gap on the O_DIRECT row — cold-cache\n"
+      "transfers run at device latency, so compute/transfer overlap (not\n"
+      "just syscall coalescing) carries the win. Page-cache-hot rows gain\n"
+      "from coalescing alone and can be a wash where streams are consumed\n"
+      "one item at a time (PQ pops, per-level BFS frontiers). I/O counts\n"
+      "identical everywhere: the PDM charge is invariant, only the clock\n"
+      "moves.\n");
+  if (!all_identical) {
+    std::printf("ERROR: armed path changed IoStats — cost model violated\n");
+  }
+  if (report.WriteFile("BENCH_prefetch_layers.json")) {
+    std::printf("\nwrote BENCH_prefetch_layers.json\n");
+  } else {
+    std::printf("\ncould not write BENCH_prefetch_layers.json\n");
+  }
+  if (HasFlag(argc, argv, "--json")) {
+    std::printf("%s", report.Render().c_str());
+  }
+  return all_identical ? 0 : 1;
+}

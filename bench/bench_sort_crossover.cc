@@ -134,7 +134,7 @@ void FileDeviceSyncVsAsync(int argc, char** argv) {
     (depth == 0 ? sync_s : async_s) = secs;
   }
   t.Print();
-  std::printf("async/sync wall-clock: %.2fx at %s I/O counts\n",
+  std::printf("sync/async wall-clock: %.2fx at %s I/O counts\n",
               sync_s / async_s,
               sync_ios == async_ios ? "identical" : "DIFFERENT (BUG!)");
   if (HasFlag(argc, argv, "--json")) {

@@ -131,7 +131,7 @@ class ExtVector {
   /// the moved-from half forgets the flight so only one side waits it.
   template <typename PtrT>
   struct IoWindow {
-    std::unique_ptr<char[]> data;
+    IoBuffer data;
     std::vector<uint64_t> ids;
     std::vector<PtrT> ptrs;
     size_t first_blk = 0;
@@ -201,10 +201,11 @@ class ExtVector {
       // devices without an uncounted plane) stays synchronous.
       if (rem == 0 && depth > 0 && vec->dev_->SupportsUncounted()) {
         depth_ = depth;
-        grp_[0].data.reset(new char[depth_ * vec->dev_->block_size()]());
+        grp_[0].data =
+            AllocIoBuffer(depth_ * vec->dev_->block_size(), /*zeroed=*/true);
         return;
       }
-      buf_.reset(new char[vec->dev_->block_size()]);
+      buf_ = AllocIoBuffer(vec->dev_->block_size());
       if (rem != 0) {
         // The tail block id is kept and rewritten in place by the next
         // flush.
@@ -323,7 +324,7 @@ class ExtVector {
         pending_charge_[gcur_] = nblks;  // charged when the flight lands
         gcur_ = 1 - gcur_;
         IoWindow<const void*>& next = grp_[gcur_];
-        if (!next.data) next.data.reset(new char[depth_ * bs]());
+        if (!next.data) next.data = AllocIoBuffer(depth_ * bs, /*zeroed=*/true);
         VEM_RETURN_IF_ERROR(SettleGroup(gcur_));  // buffer reuse barrier
       } else {
         VEM_RETURN_IF_ERROR(
@@ -349,7 +350,7 @@ class ExtVector {
     }
 
     ExtVector* vec_;
-    std::unique_ptr<char[]> buf_;
+    IoBuffer buf_;
     size_t fill_ = 0;
     Status status_;
     bool has_pending_id_ = false;
@@ -379,7 +380,7 @@ class ExtVector {
       if (depth > 0 && vec_->dev_->SupportsUncounted()) {
         depth_ = depth;
       } else {
-        buf_.reset(new char[vec->dev_->block_size()]);
+        buf_ = AllocIoBuffer(vec->dev_->block_size());
       }
     }
 
@@ -479,7 +480,7 @@ class ExtVector {
       if (first_blk >= vec_->blocks_.size()) return;
       BlockDevice* dev = vec_->dev_;
       const size_t bs = dev->block_size();
-      if (!w.data) w.data.reset(new char[depth_ * bs]);
+      if (!w.data) w.data = AllocIoBuffer(depth_ * bs);
       w.first_blk = first_blk;
       w.nblks = std::min(depth_, vec_->blocks_.size() - first_blk);
       w.ids.assign(vec_->blocks_.begin() + first_blk,
@@ -501,7 +502,7 @@ class ExtVector {
 
     const ExtVector* vec_;
     size_t pos_;
-    std::unique_ptr<char[]> buf_;
+    IoBuffer buf_;
     size_t cur_block_ = 0;
     bool buf_valid_ = false;
     Status status_;
@@ -526,10 +527,12 @@ class ExtVector {
   }
 
   /// Convenience: read everything into an in-memory vector (test helper).
-  Status ReadAll(std::vector<T>* out) const {
+  /// `depth_override` is forwarded to the Reader (-1 = the vector's own
+  /// prefetch depth).
+  Status ReadAll(std::vector<T>* out, int depth_override = -1) const {
     out->clear();
     out->reserve(size_);
-    Reader r(this);
+    Reader r(this, 0, depth_override);
     T item;
     while (r.Next(&item)) out->push_back(item);
     return r.status();

@@ -4,6 +4,14 @@
 //
 // Both are Sort(N) + Sort(M) + co-scan: the exact plan a disk-based
 // query engine picks when hash tables don't fit.
+//
+// Both take an optional `prefetch_depth`: K > 0 arms K-block read-ahead
+// on the co-scan readers, write-behind on the output writer, and the same
+// depth on every internal sort's run streams (see ExternalSorter). With
+// an IoEngine attached to the device the join/aggregate computes while
+// the device transfers; without one, K blocks still coalesce into single
+// vectored syscalls. IoStats stay bit-identical either way (accounting is
+// deferred to consumption time; see block_device.h).
 #pragma once
 
 #include <functional>
@@ -26,21 +34,23 @@ Status SortMergeJoin(const ExtVector<L>& left, const ExtVector<R>& right,
                      ExtVector<Out>* out, size_t memory_budget_bytes,
                      const std::function<Key(const L&)>& key_l,
                      const std::function<Key(const R&)>& key_r,
-                     const std::function<Out(const L&, const R&)>& combine) {
+                     const std::function<Out(const L&, const R&)>& combine,
+                     size_t prefetch_depth = 0) {
   BlockDevice* dev = out->device();
+  const int depth = detail::StreamDepth(prefetch_depth);
   // Sort both sides by key.
   auto cmp_l = [&](const L& a, const L& b) { return key_l(a) < key_l(b); };
   auto cmp_r = [&](const R& a, const R& b) { return key_r(a) < key_r(b); };
   ExtVector<L> ls(dev);
   ExtVector<R> rs(dev);
   VEM_RETURN_IF_ERROR(ExternalSort<L, decltype(cmp_l)>(
-      left, &ls, memory_budget_bytes, cmp_l));
+      left, &ls, memory_budget_bytes, cmp_l, prefetch_depth));
   VEM_RETURN_IF_ERROR(ExternalSort<R, decltype(cmp_r)>(
-      right, &rs, memory_budget_bytes, cmp_r));
+      right, &rs, memory_budget_bytes, cmp_r, prefetch_depth));
   // Co-scan.
-  typename ExtVector<L>::Reader lr(&ls);
-  typename ExtVector<R>::Reader rr(&rs);
-  typename ExtVector<Out>::Writer w(out);
+  typename ExtVector<L>::Reader lr(&ls, 0, depth);
+  typename ExtVector<R>::Reader rr(&rs, 0, depth);
+  typename ExtVector<Out>::Writer w(out, depth);
   L l;
   R r{};
   bool have_l = lr.Next(&l), have_r = rr.Next(&r);
@@ -83,15 +93,17 @@ Status GroupByAggregate(const ExtVector<Row>& rows, ExtVector<Out>* out,
                         const std::function<Acc(const Key&)>& init,
                         const std::function<void(Acc*, const Row&)>& fold,
                         const std::function<Out(const Key&, const Acc&)>&
-                            finish) {
+                            finish,
+                        size_t prefetch_depth = 0) {
   BlockDevice* dev = out->device();
+  const int depth = detail::StreamDepth(prefetch_depth);
   auto cmp = [&](const Row& a, const Row& b) { return key_of(a) < key_of(b); };
   ExtVector<Row> sorted(dev);
   VEM_RETURN_IF_ERROR(
       ExternalSort<Row, decltype(cmp)>(rows, &sorted, memory_budget_bytes,
-                                       cmp));
-  typename ExtVector<Row>::Reader r(&sorted);
-  typename ExtVector<Out>::Writer w(out);
+                                       cmp, prefetch_depth));
+  typename ExtVector<Row>::Reader r(&sorted, 0, depth);
+  typename ExtVector<Out>::Writer w(out, depth);
   Row row;
   bool have = r.Next(&row);
   while (have) {

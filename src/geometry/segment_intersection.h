@@ -62,10 +62,20 @@ class OrthogonalSegmentIntersection {
   /// Recursion depth of the last Run (tests).
   size_t max_depth() const { return max_depth_; }
 
+  /// K-block read-ahead on the event streams (the sorted H/V co-scan,
+  /// active-list scans, input copies) plus write-behind on the output and
+  /// active-list compaction writers, and the same depth on the top-level
+  /// sorts' run streams (0 = synchronous, the default). The per-strip
+  /// child/active writers stay synchronous on purpose: Θ(m) of them are
+  /// open at once and each armed writer stages 2K extra blocks, which
+  /// would blow the memory budget the fan-out was sized against. Never
+  /// changes IoStats.
+  void set_prefetch_depth(size_t k) { prefetch_depth_ = k; }
+
   Status Run(const ExtVector<HSegment>& hs, const ExtVector<VSegment>& vs,
              ExtVector<IntersectionPair>* out) {
     max_depth_ = 0;
-    typename ExtVector<IntersectionPair>::Writer w(out);
+    typename ExtVector<IntersectionPair>::Writer w(out, stream_depth());
     // Copy inputs into the recursion's working sets.
     ExtVector<HSegment> h(dev_);
     ExtVector<VSegment> v(dev_);
@@ -81,14 +91,20 @@ class OrthogonalSegmentIntersection {
 
   template <typename T>
   Status Copy(const ExtVector<T>& in, ExtVector<T>* out) {
-    typename ExtVector<T>::Reader r(&in);
-    typename ExtVector<T>::Writer w(out);
+    typename ExtVector<T>::Reader r(&in, 0, stream_depth());
+    typename ExtVector<T>::Writer w(out, stream_depth());
     T item;
     while (r.Next(&item)) {
       if (!w.Append(item)) return w.status();
     }
     VEM_RETURN_IF_ERROR(r.status());
     return w.Finish();
+  }
+
+  /// The prefetch knob as the stream-constructor override argument (-1 =
+  /// defer to each vector's own depth).
+  int stream_depth() const {
+    return detail::StreamDepth(prefetch_depth_);
   }
 
   size_t fan_out() const {
@@ -117,7 +133,7 @@ class OrthogonalSegmentIntersection {
     std::vector<double> sample;
     {
       const size_t target = 4 * k;
-      typename ExtVector<VSegment>::Reader r(&v);
+      typename ExtVector<VSegment>::Reader r(&v, 0, stream_depth());
       VSegment s;
       size_t seen = 0;
       while (r.Next(&s)) {
@@ -188,9 +204,9 @@ class OrthogonalSegmentIntersection {
       vs_sorted = std::move(v);
     } else {
       VEM_RETURN_IF_ERROR(ExternalSort<HSegment, decltype(h_by_y)>(
-          h, &hs_sorted, memory_budget_, h_by_y));
+          h, &hs_sorted, memory_budget_, h_by_y, prefetch_depth_));
       VEM_RETURN_IF_ERROR(ExternalSort<VSegment, decltype(v_by_top)>(
-          v, &vs_sorted, memory_budget_, v_by_top));
+          v, &vs_sorted, memory_budget_, v_by_top, prefetch_depth_));
       h.Destroy();
       v.Destroy();
     }
@@ -210,8 +226,8 @@ class OrthogonalSegmentIntersection {
         aw.push_back(std::make_unique<typename ExtVector<VSegment>::Writer>(
             &active[s]));
       }
-      typename ExtVector<HSegment>::Reader hr(&hs_sorted);
-      typename ExtVector<VSegment>::Reader vr(&vs_sorted);
+      typename ExtVector<HSegment>::Reader hr(&hs_sorted, 0, stream_depth());
+      typename ExtVector<VSegment>::Reader vr(&vs_sorted, 0, stream_depth());
       HSegment he;
       VSegment ve;
       bool have_h = hr.Next(&he), have_v = vr.Next(&ve);
@@ -272,8 +288,8 @@ class OrthogonalSegmentIntersection {
     if (active->size() == 0) return Status::OK();
     ExtVector<VSegment> survivors(dev_);
     {
-      typename ExtVector<VSegment>::Reader r(active);
-      typename ExtVector<VSegment>::Writer w(&survivors);
+      typename ExtVector<VSegment>::Reader r(active, 0, stream_depth());
+      typename ExtVector<VSegment>::Writer w(&survivors, stream_depth());
       VSegment ve;
       while (r.Next(&ve)) {
         if (ve.y1 > he.y) continue;  // expired: sweep passed its bottom
@@ -307,14 +323,14 @@ class OrthogonalSegmentIntersection {
       vs_sorted = std::move(v);
     } else {
       VEM_RETURN_IF_ERROR(ExternalSort<HSegment, decltype(h_by_y)>(
-          h, &hs_sorted, memory_budget_, h_by_y));
+          h, &hs_sorted, memory_budget_, h_by_y, prefetch_depth_));
       VEM_RETURN_IF_ERROR(ExternalSort<VSegment, decltype(v_by_top)>(
-          v, &vs_sorted, memory_budget_, v_by_top));
+          v, &vs_sorted, memory_budget_, v_by_top, prefetch_depth_));
     }
     ExtVector<VSegment> active(dev_);
     auto aw = std::make_unique<typename ExtVector<VSegment>::Writer>(&active);
-    typename ExtVector<HSegment>::Reader hr(&hs_sorted);
-    typename ExtVector<VSegment>::Reader vr(&vs_sorted);
+    typename ExtVector<HSegment>::Reader hr(&hs_sorted, 0, stream_depth());
+    typename ExtVector<VSegment>::Reader vr(&vs_sorted, 0, stream_depth());
     HSegment he;
     VSegment ve;
     bool have_h = hr.Next(&he), have_v = vr.Next(&ve);
@@ -344,8 +360,8 @@ class OrthogonalSegmentIntersection {
                        typename ExtVector<IntersectionPair>::Writer* out) {
     std::vector<HSegment> hs;
     std::vector<VSegment> vs;
-    VEM_RETURN_IF_ERROR(h.ReadAll(&hs));
-    VEM_RETURN_IF_ERROR(v.ReadAll(&vs));
+    VEM_RETURN_IF_ERROR(h.ReadAll(&hs, stream_depth()));
+    VEM_RETURN_IF_ERROR(v.ReadAll(&vs, stream_depth()));
     // Events: 0 = V insert (at top), 1 = H query, 2 = V erase (below
     // bottom). Process by y descending; ties: insert, query, erase.
     struct Event {
@@ -388,6 +404,7 @@ class OrthogonalSegmentIntersection {
   size_t memory_budget_;
   Rng rng_;
   size_t max_depth_ = 0;
+  size_t prefetch_depth_ = 0;
 };
 
 }  // namespace vem

@@ -32,12 +32,19 @@ class ExternalBfs {
   /// Number of BFS levels of the last Run().
   size_t levels() const { return levels_; }
 
+  /// K-block read-ahead/write-behind on every level stream (frontier
+  /// scans, neighbor gather, the sort+subtract merge, the output writer)
+  /// and the same depth on the per-level neighbor sort's run streams.
+  /// 0 = synchronous, the default. Never changes IoStats.
+  void set_prefetch_depth(size_t k) { prefetch_depth_ = k; }
+
   /// Run BFS from `source`; emits (v, dist) for every reachable vertex,
   /// grouped by level (i.e. sorted by dist, then by v).
   Status Run(const ExtGraph& graph, uint64_t source,
              ExtVector<VertexDist>* out) {
     levels_ = 0;
-    typename ExtVector<VertexDist>::Writer ow(out);
+    const int depth = stream_depth();
+    typename ExtVector<VertexDist>::Writer ow(out, depth);
 
     ExtVector<uint64_t> prev(dev_);   // L_{t-1}, sorted
     ExtVector<uint64_t> cur(dev_);    // L_t, sorted
@@ -51,7 +58,7 @@ class ExternalBfs {
       levels_++;
       // Emit the current level.
       {
-        ExtVector<uint64_t>::Reader r(&cur);
+        ExtVector<uint64_t>::Reader r(&cur, 0, depth);
         uint64_t v;
         while (r.Next(&v)) {
           if (!ow.Append(VertexDist{v, dist})) return ow.status();
@@ -61,8 +68,8 @@ class ExternalBfs {
       // Gather N(L_t): scan frontier, read each adjacency list.
       ExtVector<uint64_t> nbrs(dev_);
       {
-        ExtVector<uint64_t>::Reader r(&cur);
-        ExtVector<uint64_t>::Writer w(&nbrs);
+        ExtVector<uint64_t>::Reader r(&cur, 0, depth);
+        ExtVector<uint64_t>::Writer w(&nbrs, depth);
         uint64_t v;
         std::vector<uint64_t> adj;
         while (r.Next(&v)) {
@@ -77,14 +84,16 @@ class ExternalBfs {
       }
       // Sort + dedupe + subtract L_t and L_{t-1} in one merge scan.
       ExtVector<uint64_t> nbrs_sorted(dev_);
-      VEM_RETURN_IF_ERROR(ExternalSort(nbrs, &nbrs_sorted, memory_budget_));
+      VEM_RETURN_IF_ERROR(ExternalSort(nbrs, &nbrs_sorted, memory_budget_,
+                                       std::less<uint64_t>(),
+                                       prefetch_depth_));
       nbrs.Destroy();
       ExtVector<uint64_t> next(dev_);
       {
-        ExtVector<uint64_t>::Reader nr(&nbrs_sorted);
-        ExtVector<uint64_t>::Reader cr(&cur);
-        ExtVector<uint64_t>::Reader pr(&prev);
-        ExtVector<uint64_t>::Writer w(&next);
+        ExtVector<uint64_t>::Reader nr(&nbrs_sorted, 0, depth);
+        ExtVector<uint64_t>::Reader cr(&cur, 0, depth);
+        ExtVector<uint64_t>::Reader pr(&prev, 0, depth);
+        ExtVector<uint64_t>::Writer w(&next, depth);
         uint64_t n, c = 0, p = 0;
         bool have_c = cr.Next(&c), have_p = pr.Next(&p);
         uint64_t last = kNoVertex;
@@ -108,9 +117,15 @@ class ExternalBfs {
     return ow.Finish();
   }
 
+ private:
+  /// The prefetch knob as the stream-constructor override argument (-1 =
+  /// defer to each vector's own depth).
+  int stream_depth() const { return detail::StreamDepth(prefetch_depth_); }
+
   BlockDevice* dev_;
   size_t memory_budget_;
   size_t levels_ = 0;
+  size_t prefetch_depth_ = 0;
 };
 
 /// Baseline for benchmarks: textbook internal BFS with a paged visited

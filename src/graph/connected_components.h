@@ -41,6 +41,11 @@ class ConnectedComponents {
   /// Hook-and-contract rounds of the last Run().
   size_t rounds() const { return rounds_; }
 
+  /// K-block read-ahead/write-behind on every hook/compress/relabel/
+  /// contract stream and on the internal sorts' run streams (0 =
+  /// synchronous, the default). Never changes IoStats.
+  void set_prefetch_depth(size_t k) { prefetch_depth_ = k; }
+
   /// Compute component labels for vertices 0..n-1. `edges` holds each
   /// undirected edge once (self-loops allowed, ignored). Output sorted
   /// by vertex id.
@@ -50,7 +55,7 @@ class ConnectedComponents {
     // Global labels: v -> v, sorted by v.
     ExtVector<VertexLabel> labels(dev_);
     {
-      typename ExtVector<VertexLabel>::Writer w(&labels);
+      typename ExtVector<VertexLabel>::Writer w(&labels, stream_depth());
       for (uint64_t v = 0; v < n; ++v) {
         if (!w.Append(VertexLabel{v, v})) return w.status();
       }
@@ -61,8 +66,8 @@ class ConnectedComponents {
     {
       ExtVector<Edge> raw(dev_);
       {
-        typename ExtVector<Edge>::Reader r(&edges);
-        typename ExtVector<Edge>::Writer w(&raw);
+        typename ExtVector<Edge>::Reader r(&edges, 0, stream_depth());
+        typename ExtVector<Edge>::Writer w(&raw, stream_depth());
         Edge e;
         while (r.Next(&e)) {
           if (e.u == e.v) continue;
@@ -72,7 +77,8 @@ class ConnectedComponents {
         VEM_RETURN_IF_ERROR(r.status());
         VEM_RETURN_IF_ERROR(w.Finish());
       }
-      VEM_RETURN_IF_ERROR(ExternalSort(raw, &arcs, memory_budget_));
+      VEM_RETURN_IF_ERROR(ExternalSort(raw, &arcs, memory_budget_,
+                                       std::less<Edge>(), prefetch_depth_));
     }
 
     while (arcs.size() > 0) {
@@ -83,8 +89,8 @@ class ConnectedComponents {
       // --- 1. hook: round labels for active sources, sorted by u. ---
       ExtVector<VertexLabel> rl(dev_);
       {
-        typename ExtVector<Edge>::Reader r(&arcs);
-        typename ExtVector<VertexLabel>::Writer w(&rl);
+        typename ExtVector<Edge>::Reader r(&arcs, 0, stream_depth());
+        typename ExtVector<VertexLabel>::Writer w(&rl, stream_depth());
         Edge e;
         bool have = r.Next(&e);
         while (have) {
@@ -127,12 +133,12 @@ class ConnectedComponents {
     };
     ExtVector<VertexLabel> by_l(dev_);
     VEM_RETURN_IF_ERROR(ExternalSort<VertexLabel, decltype(by_label)>(
-        *rl, &by_l, memory_budget_, by_label));
+        *rl, &by_l, memory_budget_, by_label, prefetch_depth_));
     ExtVector<VertexLabel> jumped(dev_);
     {
-      typename ExtVector<VertexLabel>::Reader pr(&by_l);
-      typename ExtVector<VertexLabel>::Reader lr(rl);
-      typename ExtVector<VertexLabel>::Writer w(&jumped);
+      typename ExtVector<VertexLabel>::Reader pr(&by_l, 0, stream_depth());
+      typename ExtVector<VertexLabel>::Reader lr(rl, 0, stream_depth());
+      typename ExtVector<VertexLabel>::Writer w(&jumped, stream_depth());
       VertexLabel p, l{};
       bool have_l = lr.Next(&l);
       while (pr.Next(&p)) {
@@ -152,7 +158,7 @@ class ConnectedComponents {
     };
     ExtVector<VertexLabel> restored(dev_);
     VEM_RETURN_IF_ERROR(ExternalSort<VertexLabel, decltype(by_v)>(
-        jumped, &restored, memory_budget_, by_v));
+        jumped, &restored, memory_budget_, by_v, prefetch_depth_));
     jumped.Destroy();
     *rl = std::move(restored);
     return Status::OK();
@@ -167,12 +173,12 @@ class ConnectedComponents {
     };
     ExtVector<VertexLabel> by_l(dev_);
     VEM_RETURN_IF_ERROR(ExternalSort<VertexLabel, decltype(by_label)>(
-        *labels, &by_l, memory_budget_, by_label));
+        *labels, &by_l, memory_budget_, by_label, prefetch_depth_));
     ExtVector<VertexLabel> updated(dev_);
     {
-      typename ExtVector<VertexLabel>::Reader pr(&by_l);
-      typename ExtVector<VertexLabel>::Reader rr(&rl);
-      typename ExtVector<VertexLabel>::Writer w(&updated);
+      typename ExtVector<VertexLabel>::Reader pr(&by_l, 0, stream_depth());
+      typename ExtVector<VertexLabel>::Reader rr(&rl, 0, stream_depth());
+      typename ExtVector<VertexLabel>::Writer w(&updated, stream_depth());
       VertexLabel p, r{};
       bool have_r = rr.Next(&r);
       while (pr.Next(&p)) {
@@ -191,7 +197,7 @@ class ConnectedComponents {
     };
     ExtVector<VertexLabel> restored(dev_);
     VEM_RETURN_IF_ERROR(ExternalSort<VertexLabel, decltype(by_v)>(
-        updated, &restored, memory_budget_, by_v));
+        updated, &restored, memory_budget_, by_v, prefetch_depth_));
     updated.Destroy();
     *labels = std::move(restored);
     return Status::OK();
@@ -204,9 +210,9 @@ class ConnectedComponents {
     // Arcs are sorted by u and rl by v: first endpoint join is a merge.
     ExtVector<Edge> half(dev_);
     {
-      typename ExtVector<Edge>::Reader ar(&arcs);
-      typename ExtVector<VertexLabel>::Reader rr(&rl);
-      typename ExtVector<Edge>::Writer w(&half);
+      typename ExtVector<Edge>::Reader ar(&arcs, 0, stream_depth());
+      typename ExtVector<VertexLabel>::Reader rr(&rl, 0, stream_depth());
+      typename ExtVector<Edge>::Writer w(&half, stream_depth());
       Edge e;
       VertexLabel r{};
       bool have_r = rr.Next(&r);
@@ -223,13 +229,14 @@ class ConnectedComponents {
       VEM_RETURN_IF_ERROR(w.Finish());
     }
     ExtVector<Edge> half_sorted(dev_);
-    VEM_RETURN_IF_ERROR(ExternalSort(half, &half_sorted, memory_budget_));
+    VEM_RETURN_IF_ERROR(ExternalSort(half, &half_sorted, memory_budget_,
+                                     std::less<Edge>(), prefetch_depth_));
     half.Destroy();
     ExtVector<Edge> full(dev_);
     {
-      typename ExtVector<Edge>::Reader ar(&half_sorted);
-      typename ExtVector<VertexLabel>::Reader rr(&rl);
-      typename ExtVector<Edge>::Writer w(&full);
+      typename ExtVector<Edge>::Reader ar(&half_sorted, 0, stream_depth());
+      typename ExtVector<VertexLabel>::Reader rr(&rl, 0, stream_depth());
+      typename ExtVector<Edge>::Writer w(&full, stream_depth());
       Edge e;  // e.u = original v, e.v = L(u)
       VertexLabel r{};
       bool have_r = rr.Next(&r);
@@ -248,12 +255,13 @@ class ConnectedComponents {
     }
     half_sorted.Destroy();
     ExtVector<Edge> sorted(dev_);
-    VEM_RETURN_IF_ERROR(ExternalSort(full, &sorted, memory_budget_));
+    VEM_RETURN_IF_ERROR(ExternalSort(full, &sorted, memory_budget_,
+                                     std::less<Edge>(), prefetch_depth_));
     full.Destroy();
     // Dedupe in one scan.
     {
-      typename ExtVector<Edge>::Reader r(&sorted);
-      typename ExtVector<Edge>::Writer w(out);
+      typename ExtVector<Edge>::Reader r(&sorted, 0, stream_depth());
+      typename ExtVector<Edge>::Writer w(out, stream_depth());
       Edge e, prev{kNoVertex, kNoVertex};
       while (r.Next(&e)) {
         if (e.u == prev.u && e.v == prev.v) continue;
@@ -267,9 +275,14 @@ class ConnectedComponents {
     return Status::OK();
   }
 
+  /// The prefetch knob as the stream-constructor override argument (-1 =
+  /// defer to each vector's own depth).
+  int stream_depth() const { return detail::StreamDepth(prefetch_depth_); }
+
   BlockDevice* dev_;
   size_t memory_budget_;
   size_t rounds_ = 0;
+  size_t prefetch_depth_ = 0;
 };
 
 }  // namespace vem

@@ -54,6 +54,11 @@ class ListRanker {
   /// Number of contraction levels the last Rank() used (for tests).
   size_t levels() const { return levels_; }
 
+  /// K-block read-ahead/write-behind on every contraction/unwind stream
+  /// and on the internal sorts' run streams (0 = synchronous, the
+  /// default). Never changes IoStats.
+  void set_prefetch_depth(size_t k) { prefetch_depth_ = k; }
+
   /// Compute ranks for every node. `nodes` must contain each id exactly
   /// once, forming one or more disjoint lists (each tail: succ==kNoVertex).
   /// Output is sorted by id.
@@ -109,12 +114,16 @@ class ListRanker {
     return static_cast<uint8_t>(x & 1);
   }
 
+  /// The prefetch knob as the stream-constructor override argument (-1 =
+  /// defer to each vector's own depth).
+  int stream_depth() const { return detail::StreamDepth(prefetch_depth_); }
+
   Status SortNodesById(const ExtVector<ListNode>& in,
                        ExtVector<ListNode>* out) {
     ExtVector<ListNode> copy(dev_);
     {
-      typename ExtVector<ListNode>::Reader r(&in);
-      typename ExtVector<ListNode>::Writer w(&copy);
+      typename ExtVector<ListNode>::Reader r(&in, 0, stream_depth());
+      typename ExtVector<ListNode>::Writer w(&copy, stream_depth());
       ListNode n;
       while (r.Next(&n)) {
         if (!w.Append(n)) return w.status();
@@ -127,7 +136,7 @@ class ListRanker {
     };
     VEM_RETURN_IF_ERROR(
         ExternalSort<ListNode, decltype(by_id)>(copy, out, memory_budget_,
-                                                by_id));
+                                                by_id, prefetch_depth_));
     return Status::OK();
   }
 
@@ -140,8 +149,8 @@ class ListRanker {
     // Pass A: every node tells its successor its coin.
     ExtVector<PredMsg> msgs(dev_);
     {
-      typename ExtVector<ListNode>::Reader r(&level);
-      typename ExtVector<PredMsg>::Writer w(&msgs);
+      typename ExtVector<ListNode>::Reader r(&level, 0, stream_depth());
+      typename ExtVector<PredMsg>::Writer w(&msgs, stream_depth());
       ListNode n;
       while (r.Next(&n)) {
         if (n.succ != kNoVertex) {
@@ -154,7 +163,8 @@ class ListRanker {
       VEM_RETURN_IF_ERROR(w.Finish());
     }
     ExtVector<PredMsg> msgs_sorted(dev_);
-    VEM_RETURN_IF_ERROR(ExternalSort(msgs, &msgs_sorted, memory_budget_));
+    VEM_RETURN_IF_ERROR(ExternalSort(msgs, &msgs_sorted, memory_budget_,
+                                     std::less<PredMsg>(), prefetch_depth_));
     msgs.Destroy();
 
     // Pass B: merge-join level (by id) with msgs (by to). Decide removal;
@@ -162,11 +172,11 @@ class ListRanker {
     ExtVector<FixMsg> fixes(dev_);
     ExtVector<ListNode> survivors(dev_);
     {
-      typename ExtVector<ListNode>::Reader lr(&level);
-      typename ExtVector<PredMsg>::Reader mr(&msgs_sorted);
-      typename ExtVector<FixMsg>::Writer fw(&fixes);
-      typename ExtVector<ListNode>::Writer sw(&survivors);
-      typename ExtVector<ListNode>::Writer bw(bridged);
+      typename ExtVector<ListNode>::Reader lr(&level, 0, stream_depth());
+      typename ExtVector<PredMsg>::Reader mr(&msgs_sorted, 0, stream_depth());
+      typename ExtVector<FixMsg>::Writer fw(&fixes, stream_depth());
+      typename ExtVector<ListNode>::Writer sw(&survivors, stream_depth());
+      typename ExtVector<ListNode>::Writer bw(bridged, stream_depth());
       ListNode n;
       PredMsg m{};
       bool have_msg = mr.Next(&m);
@@ -202,12 +212,13 @@ class ListRanker {
 
     // Pass C: apply fixes to survivors (both sorted by id / to).
     ExtVector<FixMsg> fixes_sorted(dev_);
-    VEM_RETURN_IF_ERROR(ExternalSort(fixes, &fixes_sorted, memory_budget_));
+    VEM_RETURN_IF_ERROR(ExternalSort(fixes, &fixes_sorted, memory_budget_,
+                                     std::less<FixMsg>(), prefetch_depth_));
     fixes.Destroy();
     {
-      typename ExtVector<ListNode>::Reader sr(&survivors);
-      typename ExtVector<FixMsg>::Reader fr(&fixes_sorted);
-      typename ExtVector<ListNode>::Writer cw(contracted);
+      typename ExtVector<ListNode>::Reader sr(&survivors, 0, stream_depth());
+      typename ExtVector<FixMsg>::Reader fr(&fixes_sorted, 0, stream_depth());
+      typename ExtVector<ListNode>::Writer cw(contracted, stream_depth());
       ListNode n;
       FixMsg f{};
       bool have_fix = fr.Next(&f);
@@ -233,7 +244,7 @@ class ListRanker {
   Status RankInMemory(const ExtVector<ListNode>& level,
                       ExtVector<ListRank>* ranks) {
     std::vector<ListNode> nodes;
-    VEM_RETURN_IF_ERROR(level.ReadAll(&nodes));
+    VEM_RETURN_IF_ERROR(level.ReadAll(&nodes, stream_depth()));
     std::unordered_map<uint64_t, size_t> index;
     index.reserve(nodes.size() * 2);
     for (size_t i = 0; i < nodes.size(); ++i) index[nodes[i].id] = i;
@@ -264,7 +275,7 @@ class ListRanker {
       }
     }
     // Emit sorted by id (nodes are sorted by id already).
-    typename ExtVector<ListRank>::Writer w(ranks);
+    typename ExtVector<ListRank>::Writer w(ranks, stream_depth());
     for (size_t i = 0; i < nodes.size(); ++i) {
       if (!w.Append(ListRank{nodes[i].id, rank[i]})) return w.status();
     }
@@ -280,13 +291,13 @@ class ListRanker {
     };
     ExtVector<ListNode> bs(dev_);
     VEM_RETURN_IF_ERROR(ExternalSort<ListNode, decltype(by_succ)>(
-        bridged, &bs, memory_budget_, by_succ));
+        bridged, &bs, memory_budget_, by_succ, prefetch_depth_));
     // Join: both sorted by successor id / id.
     ExtVector<ListRank> new_ranks(dev_);
     {
-      typename ExtVector<ListNode>::Reader br(&bs);
-      typename ExtVector<ListRank>::Reader rr(ranks);
-      typename ExtVector<ListRank>::Writer w(&new_ranks);
+      typename ExtVector<ListNode>::Reader br(&bs, 0, stream_depth());
+      typename ExtVector<ListRank>::Reader rr(ranks, 0, stream_depth());
+      typename ExtVector<ListRank>::Writer w(&new_ranks, stream_depth());
       ListNode n;
       ListRank r{};
       bool have_rank = rr.Next(&r);
@@ -317,12 +328,13 @@ class ListRanker {
     };
     ExtVector<ListRank> new_sorted(dev_);
     VEM_RETURN_IF_ERROR(ExternalSort<ListRank, decltype(rank_by_id)>(
-        new_ranks, &new_sorted, memory_budget_, rank_by_id));
+        new_ranks, &new_sorted, memory_budget_, rank_by_id, prefetch_depth_));
     new_ranks.Destroy();
     ExtVector<ListRank> merged(dev_);
     {
-      typename ExtVector<ListRank>::Reader a(ranks), b(&new_sorted);
-      typename ExtVector<ListRank>::Writer w(&merged);
+      typename ExtVector<ListRank>::Reader a(ranks, 0, stream_depth());
+      typename ExtVector<ListRank>::Reader b(&new_sorted, 0, stream_depth());
+      typename ExtVector<ListRank>::Writer w(&merged, stream_depth());
       ListRank ra{}, rb{};
       bool ha = a.Next(&ra), hb = b.Next(&rb);
       while (ha || hb) {
@@ -348,6 +360,7 @@ class ListRanker {
   size_t memory_budget_;
   uint64_t seed_;
   size_t levels_ = 0;
+  size_t prefetch_depth_ = 0;
 };
 
 /// Baseline for benchmarks: chase the list pointer by pointer through a

@@ -20,6 +20,8 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
+#include <new>
 
 #include "io/io_stats.h"
 #include "util/status.h"
@@ -27,6 +29,38 @@
 namespace vem {
 
 class IoEngine;
+
+/// Memory alignment for I/O buffers. Streams and the buffer pool
+/// allocate their block buffers at this bar so devices with strict
+/// memory-alignment requirements (FileBlockDevice's O_DIRECT mode) can
+/// hand them to the kernel zero-copy instead of bounce-buffering.
+inline constexpr size_t kIoMemAlign = 4096;
+
+struct IoBufferDeleter {
+  void operator()(char* p) const {
+    ::operator delete[](p, std::align_val_t{kIoMemAlign});
+  }
+};
+
+/// Owning pointer to a kIoMemAlign-aligned char array.
+using IoBuffer = std::unique_ptr<char[], IoBufferDeleter>;
+
+/// Allocate `n` bytes aligned to kIoMemAlign; `zeroed` value-initializes.
+inline IoBuffer AllocIoBuffer(size_t n, bool zeroed = false) {
+  char* p = zeroed ? new (std::align_val_t{kIoMemAlign}) char[n]()
+                   : new (std::align_val_t{kIoMemAlign}) char[n];
+  return IoBuffer(p);
+}
+
+namespace detail {
+/// Map the per-algorithm prefetch knob onto the stream-constructor
+/// depth-override argument: an unset knob (0) defers to each vector's
+/// own prefetch depth (-1) instead of force-disabling overlap on armed
+/// inputs. Shared by every layer that threads set_prefetch_depth.
+inline int StreamDepth(size_t prefetch_depth) {
+  return prefetch_depth == 0 ? -1 : static_cast<int>(prefetch_depth);
+}
+}  // namespace detail
 
 /// Abstract block-granular storage device with block allocation.
 class BlockDevice {

@@ -9,7 +9,7 @@ BufferPool::BufferPool(BlockDevice* dev, size_t num_frames) : dev_(dev) {
   if (num_frames == 0) num_frames = 1;
   frames_.resize(num_frames);
   for (auto& f : frames_) {
-    f.data = std::make_unique<char[]>(dev_->block_size());
+    f.data = AllocIoBuffer(dev_->block_size(), /*zeroed=*/true);
   }
 }
 

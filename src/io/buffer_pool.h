@@ -56,7 +56,7 @@ class BufferPool {
  private:
   struct Frame {
     uint64_t block_id = 0;
-    std::unique_ptr<char[]> data;
+    IoBuffer data;
     int pin_count = 0;
     bool dirty = false;
     bool valid = false;

@@ -49,6 +49,14 @@ class ExternalPriorityQueue {
   size_t collapses() const { return collapses_; }
   size_t active_runs() const { return runs_.size(); }
 
+  /// K-block write-behind on spilled-run writers and read-ahead on every
+  /// run's merge/pop reader (0 = synchronous, the default). Each live run
+  /// then holds 2K blocks of window memory on top of its block buffer, so
+  /// keep K small relative to the per-run budget (max_runs is derived
+  /// from M/2). Takes effect for runs created after the call. Never
+  /// changes IoStats.
+  void set_prefetch_depth(size_t k) { prefetch_depth_ = k; }
+
   /// Insert one item; O(1/B) amortized I/Os.
   Status Push(const T& v) {
     heap_.push_back(v);
@@ -125,12 +133,18 @@ class ExternalPriorityQueue {
     bool operator()(const T& a, const T& b) const { return cmp(b, a); }
   };
 
+  /// The prefetch knob as the stream-constructor override argument (-1 =
+  /// defer to each vector's own depth).
+  int stream_depth() const { return detail::StreamDepth(prefetch_depth_); }
+
   Status SpillHeap() {
     std::sort(heap_.begin(), heap_.end(), cmp_);
     auto run = std::make_unique<RunState>(dev_);
-    VEM_RETURN_IF_ERROR(run->data.AppendAll(heap_.data(), heap_.size()));
+    VEM_RETURN_IF_ERROR(
+        run->data.AppendAll(heap_.data(), heap_.size(), stream_depth()));
     heap_.clear();
-    run->reader = std::make_unique<typename ExtVector<T>::Reader>(&run->data);
+    run->reader = std::make_unique<typename ExtVector<T>::Reader>(
+        &run->data, 0, stream_depth());
     run->valid = run->reader->Next(&run->head);
     VEM_RETURN_IF_ERROR(run->reader->status());
     if (run->valid) runs_.push_back(std::move(run));
@@ -163,7 +177,7 @@ class ExternalPriorityQueue {
         if (runs_[i]->valid) tree.SetSource(i, runs_[i]->head);
       }
       tree.Build();
-      typename ExtVector<T>::Writer writer(&merged->data);
+      typename ExtVector<T>::Writer writer(&merged->data, stream_depth());
       while (tree.HasWinner()) {
         if (!writer.Append(tree.top())) return writer.status();
         RunState& run = *runs_[tree.winner()];
@@ -179,8 +193,8 @@ class ExternalPriorityQueue {
     }
     // Drop the drained runs, keep the rest.
     runs_.erase(runs_.begin(), runs_.begin() + merge_count);
-    merged->reader =
-        std::make_unique<typename ExtVector<T>::Reader>(&merged->data);
+    merged->reader = std::make_unique<typename ExtVector<T>::Reader>(
+        &merged->data, 0, stream_depth());
     merged->valid = merged->reader->Next(&merged->head);
     VEM_RETURN_IF_ERROR(merged->reader->status());
     if (merged->valid) runs_.push_back(std::move(merged));
@@ -198,6 +212,7 @@ class ExternalPriorityQueue {
   size_t size_ = 0;
   size_t spills_ = 0;
   size_t collapses_ = 0;
+  size_t prefetch_depth_ = 0;
 };
 
 }  // namespace vem

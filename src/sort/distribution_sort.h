@@ -39,6 +39,15 @@ class DistributionSorter {
     return std::max<size_t>(k, 2);
   }
 
+  /// K-block read-ahead on every sequential scan (input, splitter sample,
+  /// equal-bucket emit, base-case loads) and write-behind on the output
+  /// stream (0 = synchronous, the default). The per-bucket scatter writers
+  /// stay synchronous on purpose: ~2k+1 of them are open at once and each
+  /// armed writer stages 2K extra blocks, which would multiply the memory
+  /// budget the fan-out was sized against. Never changes IoStats —
+  /// accounting is deferred to consumption time (see block_device.h).
+  void set_prefetch_depth(size_t k) { prefetch_depth_ = k; }
+
   /// Sort `input` into empty `output` on the same device.
   Status Sort(const ExtVector<T>& input, ExtVector<T>* output) {
     if (output->device() != dev_ || !output->empty()) {
@@ -46,7 +55,7 @@ class DistributionSorter {
     }
     metrics_ = Metrics{};
     metrics_.items = input.size();
-    typename ExtVector<T>::Writer writer(output);
+    typename ExtVector<T>::Writer writer(output, stream_depth());
     VEM_RETURN_IF_ERROR(SortInto(input, &writer, 1));
     return writer.Finish();
   }
@@ -56,13 +65,19 @@ class DistributionSorter {
  private:
   size_t memory_items() const { return memory_budget_ / sizeof(T); }
 
+  /// The prefetch knob as the stream-constructor override argument (-1 =
+  /// defer to each vector's own depth, as in ExternalSorter).
+  int stream_depth() const {
+    return detail::StreamDepth(prefetch_depth_);
+  }
+
   /// Recursive sort of `input` appended to `writer` in sorted order.
   Status SortInto(const ExtVector<T>& input,
                   typename ExtVector<T>::Writer* writer, size_t depth) {
     if (input.size() <= memory_items()) {
       // Base case: fits in internal memory.
       std::vector<T> buf;
-      VEM_RETURN_IF_ERROR(input.ReadAll(&buf));
+      VEM_RETURN_IF_ERROR(input.ReadAll(&buf, stream_depth()));
       std::sort(buf.begin(), buf.end(), cmp_);
       metrics_.base_case_sorts++;
       for (const T& v : buf) {
@@ -98,7 +113,7 @@ class DistributionSorter {
       ew.reserve(equal.size());
       for (auto& b : less) lw.emplace_back(&b);
       for (auto& b : equal) ew.emplace_back(&b);
-      typename ExtVector<T>::Reader reader(&input);
+      typename ExtVector<T>::Reader reader(&input, 0, stream_depth());
       T item;
       while (reader.Next(&item)) {
         size_t lo = std::lower_bound(splitters.begin(), splitters.end(), item,
@@ -121,7 +136,7 @@ class DistributionSorter {
       VEM_RETURN_IF_ERROR(SortInto(less[i], writer, depth + 1));
       less[i].Destroy();
       if (i < s) {
-        typename ExtVector<T>::Reader reader(&equal[i]);
+        typename ExtVector<T>::Reader reader(&equal[i], 0, stream_depth());
         T item;
         while (reader.Next(&item)) {
           if (!writer->Append(item)) return writer->status();
@@ -141,7 +156,7 @@ class DistributionSorter {
     const size_t sample_target = 4 * k;
     std::vector<T> sample;
     sample.reserve(sample_target);
-    typename ExtVector<T>::Reader reader(&input);
+    typename ExtVector<T>::Reader reader(&input, 0, stream_depth());
     T item;
     size_t seen = 0;
     while (reader.Next(&item)) {
@@ -171,6 +186,7 @@ class DistributionSorter {
   Cmp cmp_;
   Rng rng_;
   Metrics metrics_;
+  size_t prefetch_depth_ = 0;
 };
 
 }  // namespace vem

@@ -129,7 +129,7 @@ class ExternalSorter {
   Status FormRuns(const ExtVector<T>& input, std::deque<ExtVector<T>>* runs) {
     if (replacement_selection_) return FormRunsReplacement(input, runs);
     const size_t run_items = run_length();
-    typename ExtVector<T>::Reader reader(&input, 0, depth());
+    typename ExtVector<T>::Reader reader(&input, 0, stream_depth());
     std::vector<T> buf;
     buf.reserve(std::min(run_items, input.size()));
     T item;
@@ -143,7 +143,7 @@ class ExternalSorter {
       VEM_RETURN_IF_ERROR(reader.status());
       std::sort(buf.begin(), buf.end(), cmp_);
       ExtVector<T> run(dev_);
-      VEM_RETURN_IF_ERROR(run.AppendAll(buf.data(), buf.size(), depth()));
+      VEM_RETURN_IF_ERROR(run.AppendAll(buf.data(), buf.size(), stream_depth()));
       runs->push_back(std::move(run));
     }
     return reader.status();
@@ -163,7 +163,7 @@ class ExternalSorter {
       return cmp_(b.item, a.item);
     };
     const size_t heap_items = run_length();
-    typename ExtVector<T>::Reader reader(&input, 0, depth());
+    typename ExtVector<T>::Reader reader(&input, 0, stream_depth());
     std::vector<Entry> heap;
     heap.reserve(std::min(heap_items, input.size()));
     T item;
@@ -189,7 +189,7 @@ class ExternalSorter {
         cur_epoch = e.epoch;
         run = std::make_unique<ExtVector<T>>(dev_);
         writer =
-            std::make_unique<typename ExtVector<T>::Writer>(run.get(), depth());
+            std::make_unique<typename ExtVector<T>::Writer>(run.get(), stream_depth());
       }
       if (!writer->Append(e.item)) return writer->status();
       if (!input_done) {
@@ -224,7 +224,7 @@ class ExternalSorter {
     }
     std::vector<typename ExtVector<T>::Reader> readers;
     readers.reserve(take);
-    for (auto& run : group) readers.emplace_back(&run, 0, depth());
+    for (auto& run : group) readers.emplace_back(&run, 0, stream_depth());
 
     LoserTree<T, Cmp> tree(take, cmp_);
     for (size_t i = 0; i < take; ++i) {
@@ -234,7 +234,7 @@ class ExternalSorter {
     }
     tree.Build();
 
-    typename ExtVector<T>::Writer writer(out, depth());
+    typename ExtVector<T>::Writer writer(out, stream_depth());
     while (tree.HasWinner()) {
       if (!writer.Append(tree.top())) return writer.status();
       size_t src = tree.winner();
@@ -254,9 +254,7 @@ class ExternalSorter {
   /// The prefetch knob as the stream-constructor override argument. An
   /// unset knob defers to each vector's own prefetch depth (-1) instead
   /// of force-disabling overlap on armed inputs.
-  int depth() const {
-    return prefetch_depth_ == 0 ? -1 : static_cast<int>(prefetch_depth_);
-  }
+  int stream_depth() const { return detail::StreamDepth(prefetch_depth_); }
 
   BlockDevice* dev_;
   size_t memory_budget_;
@@ -268,11 +266,16 @@ class ExternalSorter {
   size_t prefetch_depth_ = 0;
 };
 
-/// Convenience wrapper: sort with default comparator.
+/// Convenience wrapper: sort with default comparator. `prefetch_depth`
+/// arms K-block read-ahead/write-behind on every run stream (0 defers to
+/// each vector's own depth) — the scan-bound algorithm layers thread
+/// their own knob through here so their internal sorts overlap too.
 template <typename T, typename Cmp = std::less<T>>
 Status ExternalSort(const ExtVector<T>& input, ExtVector<T>* output,
-                    size_t memory_budget_bytes, Cmp cmp = Cmp()) {
+                    size_t memory_budget_bytes, Cmp cmp = Cmp(),
+                    size_t prefetch_depth = 0) {
   ExternalSorter<T, Cmp> sorter(output->device(), memory_budget_bytes, cmp);
+  sorter.set_prefetch_depth(prefetch_depth);
   return sorter.Sort(input, output);
 }
 

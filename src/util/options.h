@@ -39,6 +39,16 @@ struct Options {
   /// pread/pwrite rather than compute.
   size_t io_threads = 2;
 
+  /// Open FileBlockDevice scratch files with O_DIRECT so transfers bypass
+  /// the OS page cache (cold-cache mode). On a warm page cache every read
+  /// is RAM speed and the engine's compute/transfer overlap is invisible;
+  /// direct I/O restores real device latency so benchmarks measure the
+  /// engine, not the cache. Falls back to buffered I/O when the
+  /// filesystem rejects O_DIRECT or block_size is not 512-byte aligned
+  /// (FileBlockDevice::direct_io_active() reports the outcome). Never
+  /// affects IoStats either way.
+  bool direct_io = false;
+
   /// Per-type block capacity: how many T fit in one block.
   template <typename T>
   size_t items_per_block() const {

@@ -1,0 +1,503 @@
+// Stats-identity tests for prefetch armed across the scan-bound
+// algorithm layers: join, group-by, distribution sort, distribution
+// sweep, BFS, connected components, list ranking, and the external
+// priority queue. Each case runs the same workload twice on fresh file
+// devices — synchronous (depth 0, no engine) vs armed (depth K, with or
+// without an IoEngine) — and demands identical outputs and bit-identical
+// IoStats: overlap is a wall-clock property, never a cost-model one.
+// A FaultyDevice case checks that armed layers still propagate device
+// errors as Status.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "core/relational.h"
+#include "geometry/segment_intersection.h"
+#include "graph/bfs.h"
+#include "graph/connected_components.h"
+#include "graph/list_ranking.h"
+#include "io/faulty_device.h"
+#include "io/file_block_device.h"
+#include "io/io_engine.h"
+#include "io/memory_block_device.h"
+#include "search/external_pq.h"
+#include "sort/distribution_sort.h"
+#include "util/random.h"
+
+namespace vem {
+namespace {
+
+constexpr size_t kBlock = 256;
+constexpr size_t kMem = 4096;
+
+std::string ScratchPath(const char* name) {
+  return std::string("/tmp/vem_prefetch_layers_") + name + ".bin";
+}
+
+/// One armed configuration: stream depth K, engine on/off.
+struct Cfg {
+  size_t depth;
+  bool engine;
+};
+std::ostream& operator<<(std::ostream& os, const Cfg& c) {
+  return os << "K" << c.depth << (c.engine ? "_engine" : "_sync");
+}
+
+class PrefetchLayers : public ::testing::TestWithParam<Cfg> {
+ protected:
+  /// Invoke `run(dev, depth)` twice — sync baseline vs the parameterized
+  /// armed config — on fresh file devices and return both stats deltas.
+  /// `run` must produce its comparable output via out-params it captures.
+  template <typename Run>
+  void RunBothConfigs(const char* tag, Run run, IoStats* sync_cost,
+                      IoStats* armed_cost) {
+    Cfg cfg = GetParam();
+    {
+      FileBlockDevice dev(ScratchPath((std::string(tag) + "_sync").c_str()),
+                          kBlock);
+      ASSERT_TRUE(dev.valid());
+      IoProbe probe(dev);
+      run(&dev, size_t{0}, /*armed=*/false);
+      *sync_cost = probe.delta();
+    }
+    {
+      FileBlockDevice dev(ScratchPath((std::string(tag) + "_armed").c_str()),
+                          kBlock);
+      ASSERT_TRUE(dev.valid());
+      IoEngine engine(2);
+      if (cfg.engine) dev.set_io_engine(&engine);
+      IoProbe probe(dev);
+      run(&dev, cfg.depth, /*armed=*/true);
+      *armed_cost = probe.delta();
+      dev.set_io_engine(nullptr);
+    }
+  }
+};
+
+// ------------------------------------------------------------------- join
+
+struct OrderRow {
+  uint64_t order_id;
+  uint64_t cust;
+};
+struct CustRow {
+  uint64_t cust;
+  uint32_t region;
+};
+struct JoinedRow {
+  uint64_t order_id;
+  uint64_t cust;
+  uint32_t region;
+  bool operator==(const JoinedRow&) const = default;
+};
+
+TEST_P(PrefetchLayers, SortMergeJoinIdentity) {
+  Rng rng(71);
+  const size_t kOrders = 6000, kCust = 300;
+  std::vector<OrderRow> orders;
+  std::vector<CustRow> custs;
+  for (size_t i = 0; i < kOrders; ++i) {
+    orders.push_back({i, rng.Uniform(kCust * 2)});
+  }
+  for (uint64_t c = 0; c < kCust; ++c) {
+    custs.push_back({c, static_cast<uint32_t>(c % 7)});
+  }
+  std::vector<JoinedRow> out_sync, out_armed;
+  IoStats sync_cost, armed_cost;
+  auto run = [&](BlockDevice* dev, size_t depth, bool armed) {
+    ExtVector<OrderRow> ov(dev);
+    ExtVector<CustRow> cv(dev);
+    ASSERT_TRUE(ov.AppendAll(orders.data(), orders.size()).ok());
+    ASSERT_TRUE(cv.AppendAll(custs.data(), custs.size()).ok());
+    ExtVector<JoinedRow> out(dev);
+    Status s = SortMergeJoin<OrderRow, CustRow, JoinedRow, uint64_t>(
+        ov, cv, &out, kMem, [](const OrderRow& o) { return o.cust; },
+        [](const CustRow& c) { return c.cust; },
+        [](const OrderRow& o, const CustRow& c) {
+          return JoinedRow{o.order_id, o.cust, c.region};
+        },
+        depth);
+    ASSERT_TRUE(s.ok()) << s.ToString();
+    ASSERT_TRUE(out.ReadAll(armed ? &out_armed : &out_sync).ok());
+  };
+  RunBothConfigs("join", run, &sync_cost, &armed_cost);
+  EXPECT_EQ(out_sync, out_armed);
+  EXPECT_FALSE(out_sync.empty());
+  EXPECT_TRUE(sync_cost == armed_cost)
+      << "sync " << sync_cost.ToString() << " vs armed "
+      << armed_cost.ToString();
+}
+
+// --------------------------------------------------------------- group-by
+
+struct SaleRow {
+  uint32_t region;
+  uint32_t amount;
+};
+struct RegionStat {
+  uint32_t region;
+  uint64_t total;
+  uint64_t count;
+  bool operator==(const RegionStat&) const = default;
+};
+
+TEST_P(PrefetchLayers, GroupByAggregateIdentity) {
+  Rng rng(72);
+  std::vector<SaleRow> rows;
+  for (size_t i = 0; i < 9000; ++i) {
+    rows.push_back({static_cast<uint32_t>(rng.Uniform(40)),
+                    static_cast<uint32_t>(rng.Uniform(1000))});
+  }
+  struct Acc {
+    uint64_t sum = 0;
+    uint64_t n = 0;
+  };
+  std::vector<RegionStat> out_sync, out_armed;
+  IoStats sync_cost, armed_cost;
+  auto run = [&](BlockDevice* dev, size_t depth, bool armed) {
+    ExtVector<SaleRow> rv(dev);
+    ASSERT_TRUE(rv.AppendAll(rows.data(), rows.size()).ok());
+    ExtVector<RegionStat> out(dev);
+    Status s = GroupByAggregate<SaleRow, uint32_t, Acc, RegionStat>(
+        rv, &out, kMem, [](const SaleRow& r) { return r.region; },
+        [](const uint32_t&) { return Acc{}; },
+        [](Acc* a, const SaleRow& r) {
+          a->sum += r.amount;
+          a->n++;
+        },
+        [](const uint32_t& k, const Acc& a) {
+          return RegionStat{k, a.sum, a.n};
+        },
+        depth);
+    ASSERT_TRUE(s.ok()) << s.ToString();
+    ASSERT_TRUE(out.ReadAll(armed ? &out_armed : &out_sync).ok());
+  };
+  RunBothConfigs("groupby", run, &sync_cost, &armed_cost);
+  EXPECT_EQ(out_sync, out_armed);
+  EXPECT_EQ(out_sync.size(), 40u);
+  EXPECT_TRUE(sync_cost == armed_cost)
+      << "sync " << sync_cost.ToString() << " vs armed "
+      << armed_cost.ToString();
+}
+
+// ------------------------------------------------------ distribution sort
+
+TEST_P(PrefetchLayers, DistributionSortIdentity) {
+  Rng rng(73);
+  std::vector<uint64_t> data(30000);
+  for (auto& v : data) v = rng.Uniform(5000);  // duplicates galore
+  std::vector<uint64_t> want = data;
+  std::sort(want.begin(), want.end());
+
+  std::vector<uint64_t> out_sync, out_armed;
+  IoStats sync_cost, armed_cost;
+  auto run = [&](BlockDevice* dev, size_t depth, bool armed) {
+    ExtVector<uint64_t> input(dev);
+    ASSERT_TRUE(input.AppendAll(data.data(), data.size()).ok());
+    DistributionSorter<uint64_t> sorter(dev, kMem);
+    sorter.set_prefetch_depth(depth);
+    ExtVector<uint64_t> out(dev);
+    ASSERT_TRUE(sorter.Sort(input, &out).ok());
+    ASSERT_TRUE(out.ReadAll(armed ? &out_armed : &out_sync).ok());
+  };
+  RunBothConfigs("distsort", run, &sync_cost, &armed_cost);
+  EXPECT_EQ(out_sync, want);
+  EXPECT_EQ(out_armed, want);
+  EXPECT_TRUE(sync_cost == armed_cost)
+      << "sync " << sync_cost.ToString() << " vs armed "
+      << armed_cost.ToString();
+}
+
+// ----------------------------------------------------- distribution sweep
+
+TEST_P(PrefetchLayers, SegmentSweepIdentity) {
+  Rng rng(74);
+  const size_t n = 1200;
+  std::vector<HSegment> hs;
+  std::vector<VSegment> vs;
+  for (size_t i = 0; i < n; ++i) {
+    double x = rng.NextDouble() * 100, y = rng.NextDouble() * 100;
+    hs.push_back({y, x, x + rng.NextDouble() * 8, i});
+    double vx = rng.NextDouble() * 100, vy = rng.NextDouble() * 100;
+    vs.push_back({vx, vy, vy + rng.NextDouble() * 8, i});
+  }
+  std::vector<IntersectionPair> out_sync, out_armed;
+  IoStats sync_cost, armed_cost;
+  auto run = [&](BlockDevice* dev, size_t depth, bool armed) {
+    ExtVector<HSegment> hv(dev);
+    ExtVector<VSegment> vv(dev);
+    ASSERT_TRUE(hv.AppendAll(hs.data(), hs.size()).ok());
+    ASSERT_TRUE(vv.AppendAll(vs.data(), vs.size()).ok());
+    OrthogonalSegmentIntersection osi(dev, kMem);
+    osi.set_prefetch_depth(depth);
+    ExtVector<IntersectionPair> out(dev);
+    ASSERT_TRUE(osi.Run(hv, vv, &out).ok());
+    std::vector<IntersectionPair>* sink = armed ? &out_armed : &out_sync;
+    ASSERT_TRUE(out.ReadAll(sink).ok());
+    std::sort(sink->begin(), sink->end());
+  };
+  RunBothConfigs("sweep", run, &sync_cost, &armed_cost);
+  EXPECT_EQ(out_sync, out_armed);
+  EXPECT_FALSE(out_sync.empty());
+  EXPECT_TRUE(sync_cost == armed_cost)
+      << "sync " << sync_cost.ToString() << " vs armed "
+      << armed_cost.ToString();
+}
+
+// -------------------------------------------------------------------- BFS
+
+TEST_P(PrefetchLayers, ExternalBfsIdentity) {
+  const uint64_t v = 1500;
+  Rng rng(75);
+  std::vector<Edge> edge_list;
+  for (uint64_t i = 0; i < v; ++i) edge_list.push_back({i, (i + 1) % v});
+  for (size_t i = 0; i < 2 * v; ++i) {
+    edge_list.push_back({rng.Uniform(v), rng.Uniform(v)});
+  }
+  std::vector<VertexDist> out_sync, out_armed;
+  IoStats sync_cost, armed_cost;
+  auto run = [&](BlockDevice* dev, size_t depth, bool armed) {
+    BufferPool pool(dev, 8);
+    ExtVector<Edge> edges(dev);
+    ASSERT_TRUE(edges.AppendAll(edge_list.data(), edge_list.size()).ok());
+    ExtGraph g(dev, &pool);
+    ASSERT_TRUE(g.Build(edges, v, kMem, /*symmetrize=*/true).ok());
+    ExternalBfs bfs(dev, kMem);
+    bfs.set_prefetch_depth(depth);
+    ExtVector<VertexDist> out(dev);
+    ASSERT_TRUE(bfs.Run(g, 0, &out).ok());
+    std::vector<VertexDist>* sink = armed ? &out_armed : &out_sync;
+    ASSERT_TRUE(out.ReadAll(sink).ok());
+    ASSERT_TRUE(pool.FlushAll().ok());
+  };
+  RunBothConfigs("bfs", run, &sync_cost, &armed_cost);
+  ASSERT_EQ(out_sync.size(), out_armed.size());
+  EXPECT_EQ(out_sync.size(), v);  // the cycle connects everything
+  for (size_t i = 0; i < out_sync.size(); ++i) {
+    EXPECT_EQ(out_sync[i].v, out_armed[i].v) << i;
+    EXPECT_EQ(out_sync[i].dist, out_armed[i].dist) << i;
+  }
+  EXPECT_TRUE(sync_cost == armed_cost)
+      << "sync " << sync_cost.ToString() << " vs armed "
+      << armed_cost.ToString();
+}
+
+// ----------------------------------------------------- connected components
+
+TEST_P(PrefetchLayers, ConnectedComponentsIdentity) {
+  const uint64_t n = 1200;
+  Rng rng(76);
+  std::vector<Edge> edge_list;
+  // Three chains plus random intra-chain chords: 3 components.
+  for (uint64_t c = 0; c < 3; ++c) {
+    for (uint64_t i = c; i + 3 < n; i += 3) edge_list.push_back({i, i + 3});
+  }
+  std::vector<VertexLabel> out_sync, out_armed;
+  IoStats sync_cost, armed_cost;
+  auto run = [&](BlockDevice* dev, size_t depth, bool armed) {
+    ExtVector<Edge> edges(dev);
+    ASSERT_TRUE(edges.AppendAll(edge_list.data(), edge_list.size()).ok());
+    ConnectedComponents cc(dev, kMem);
+    cc.set_prefetch_depth(depth);
+    ExtVector<VertexLabel> out(dev);
+    ASSERT_TRUE(cc.Run(edges, n, &out).ok());
+    std::vector<VertexLabel>* sink = armed ? &out_armed : &out_sync;
+    ASSERT_TRUE(out.ReadAll(sink).ok());
+  };
+  RunBothConfigs("cc", run, &sync_cost, &armed_cost);
+  ASSERT_EQ(out_sync.size(), out_armed.size());
+  for (size_t i = 0; i < out_sync.size(); ++i) {
+    EXPECT_EQ(out_sync[i].v, out_armed[i].v) << i;
+    EXPECT_EQ(out_sync[i].label, out_armed[i].label) << i;
+    EXPECT_EQ(out_armed[i].label, out_armed[i].v % 3) << i;
+  }
+  EXPECT_TRUE(sync_cost == armed_cost)
+      << "sync " << sync_cost.ToString() << " vs armed "
+      << armed_cost.ToString();
+}
+
+// ------------------------------------------------------------ list ranking
+
+TEST_P(PrefetchLayers, ListRankingIdentity) {
+  const uint64_t n = 4000;
+  Rng rng(77);
+  // A random permutation as one linked list.
+  std::vector<uint64_t> perm(n);
+  for (uint64_t i = 0; i < n; ++i) perm[i] = i;
+  for (uint64_t i = n - 1; i > 0; --i) {
+    std::swap(perm[i], perm[rng.Uniform(i + 1)]);
+  }
+  std::vector<ListNode> nodes(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    uint64_t succ = (i + 1 < n) ? perm[i + 1] : kNoVertex;
+    nodes[perm[i]] = ListNode{perm[i], succ, 1};
+  }
+  std::vector<ListRank> out_sync, out_armed;
+  IoStats sync_cost, armed_cost;
+  auto run = [&](BlockDevice* dev, size_t depth, bool armed) {
+    ExtVector<ListNode> nv(dev);
+    std::vector<ListNode> by_id(n);
+    for (uint64_t i = 0; i < n; ++i) by_id[nodes[i].id] = nodes[i];
+    ASSERT_TRUE(nv.AppendAll(by_id.data(), by_id.size()).ok());
+    ListRanker ranker(dev, kMem);
+    ranker.set_prefetch_depth(depth);
+    ExtVector<ListRank> out(dev);
+    ASSERT_TRUE(ranker.Rank(nv, &out).ok());
+    std::vector<ListRank>* sink = armed ? &out_armed : &out_sync;
+    ASSERT_TRUE(out.ReadAll(sink).ok());
+  };
+  RunBothConfigs("listrank", run, &sync_cost, &armed_cost);
+  ASSERT_EQ(out_sync.size(), out_armed.size());
+  EXPECT_EQ(out_sync.size(), n);
+  for (size_t i = 0; i < out_sync.size(); ++i) {
+    EXPECT_EQ(out_sync[i].id, out_armed[i].id) << i;
+    EXPECT_EQ(out_sync[i].rank, out_armed[i].rank) << i;
+  }
+  // Spot-check correctness: head has rank n, tail rank 1.
+  EXPECT_EQ(out_sync[perm[0]].rank, n);
+  EXPECT_EQ(out_sync[perm[n - 1]].rank, 1u);
+  EXPECT_TRUE(sync_cost == armed_cost)
+      << "sync " << sync_cost.ToString() << " vs armed "
+      << armed_cost.ToString();
+}
+
+// -------------------------------------------------- external priority queue
+
+TEST_P(PrefetchLayers, ExternalPqIdentity) {
+  Rng rng(78);
+  std::vector<uint64_t> data(25000);
+  for (auto& v : data) v = rng.Next() % 100000;
+  std::vector<uint64_t> want = data;
+  std::sort(want.begin(), want.end());
+
+  std::vector<uint64_t> out_sync, out_armed;
+  size_t spills_sync = 0, spills_armed = 0;
+  IoStats sync_cost, armed_cost;
+  auto run = [&](BlockDevice* dev, size_t depth, bool armed) {
+    ExternalPriorityQueue<uint64_t> pq(dev, kMem / 2);
+    pq.set_prefetch_depth(depth);
+    for (uint64_t v : data) ASSERT_TRUE(pq.Push(v).ok());
+    std::vector<uint64_t>* sink = armed ? &out_armed : &out_sync;
+    sink->reserve(data.size());
+    uint64_t v;
+    while (!pq.empty()) {
+      ASSERT_TRUE(pq.Pop(&v).ok());
+      sink->push_back(v);
+    }
+    (armed ? spills_armed : spills_sync) = pq.spills();
+  };
+  RunBothConfigs("pq", run, &sync_cost, &armed_cost);
+  EXPECT_EQ(out_sync, want);
+  EXPECT_EQ(out_armed, want);
+  EXPECT_GT(spills_sync, 0u);  // the workload actually went external
+  EXPECT_EQ(spills_sync, spills_armed);
+  EXPECT_TRUE(sync_cost == armed_cost)
+      << "sync " << sync_cost.ToString() << " vs armed "
+      << armed_cost.ToString();
+}
+
+// -------------------------------------------------- armed empty-input edge
+
+TEST_P(PrefetchLayers, EmptyInputsStayWellBehaved) {
+  Cfg cfg = GetParam();
+  FileBlockDevice dev(ScratchPath("empty"), kBlock);
+  ASSERT_TRUE(dev.valid());
+  IoEngine engine(2);
+  if (cfg.engine) dev.set_io_engine(&engine);
+
+  ExtVector<uint64_t> input(&dev);
+  DistributionSorter<uint64_t> sorter(&dev, kMem);
+  sorter.set_prefetch_depth(cfg.depth);
+  ExtVector<uint64_t> out(&dev);
+  ASSERT_TRUE(sorter.Sort(input, &out).ok());
+  EXPECT_EQ(out.size(), 0u);
+
+  ExtVector<OrderRow> ov(&dev);
+  ExtVector<CustRow> cv(&dev);
+  ExtVector<JoinedRow> jout(&dev);
+  Status s = SortMergeJoin<OrderRow, CustRow, JoinedRow, uint64_t>(
+      ov, cv, &jout, kMem, [](const OrderRow& o) { return o.cust; },
+      [](const CustRow& c) { return c.cust; },
+      [](const OrderRow& o, const CustRow& c) {
+        return JoinedRow{o.order_id, o.cust, c.region};
+      },
+      cfg.depth);
+  EXPECT_TRUE(s.ok()) << s.ToString();
+  EXPECT_EQ(jout.size(), 0u);
+  dev.set_io_engine(nullptr);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, PrefetchLayers,
+    ::testing::Values(Cfg{2, false}, Cfg{4, true}, Cfg{16, true}),
+    [](const ::testing::TestParamInfo<Cfg>& info) {
+      return "K" + std::to_string(info.param.depth) +
+             (info.param.engine ? "_engine" : "_sync");
+    });
+
+// --------------------------------------------------- error propagation
+
+// Armed layers on a device without the uncounted plane (FaultyBlockDevice)
+// must fall back to synchronous streams and still surface injected
+// IOErrors as Status — no crash, no silent truncation.
+TEST(PrefetchLayersFaults, DistributionSortPropagatesReadError) {
+  MemoryBlockDevice inner(kBlock);
+  Rng rng(80);
+  std::vector<uint64_t> data(20000);
+  for (auto& v : data) v = rng.Next();
+  FaultyBlockDevice dev(&inner, /*fail_read_at=*/50);
+  DistributionSorter<uint64_t> sorter(&dev, kMem);
+  sorter.set_prefetch_depth(8);
+  ExtVector<uint64_t> input(&dev);
+  ASSERT_TRUE(input.AppendAll(data.data(), data.size()).ok());
+  ExtVector<uint64_t> out(&dev);
+  Status s = sorter.Sort(input, &out);
+  EXPECT_TRUE(s.IsIOError()) << s.ToString();
+}
+
+TEST(PrefetchLayersFaults, JoinPropagatesWriteError) {
+  MemoryBlockDevice inner(kBlock);
+  // Loading the two tables costs ~320 writes; fail the 400th so the
+  // injection fires inside the join's sort phase, after a clean load.
+  FaultyBlockDevice dev(&inner, FaultyBlockDevice::kNever,
+                        /*fail_write_at=*/400);
+  Rng rng(81);
+  std::vector<OrderRow> orders;
+  for (size_t i = 0; i < 5000; ++i) orders.push_back({i, rng.Uniform(100)});
+  std::vector<CustRow> custs;
+  for (uint64_t c = 0; c < 100; ++c) {
+    custs.push_back({c, static_cast<uint32_t>(c)});
+  }
+  ExtVector<OrderRow> ov(&dev);
+  ExtVector<CustRow> cv(&dev);
+  ExtVector<JoinedRow> out(&dev);
+  ASSERT_TRUE(ov.AppendAll(orders.data(), orders.size()).ok());
+  ASSERT_TRUE(cv.AppendAll(custs.data(), custs.size()).ok());
+  Status s = SortMergeJoin<OrderRow, CustRow, JoinedRow, uint64_t>(
+      ov, cv, &out, kMem, [](const OrderRow& o) { return o.cust; },
+      [](const CustRow& c) { return c.cust; },
+      [](const OrderRow& o, const CustRow& c) {
+        return JoinedRow{o.order_id, o.cust, c.region};
+      },
+      /*prefetch_depth=*/8);
+  EXPECT_TRUE(s.IsIOError()) << s.ToString();
+}
+
+TEST(PrefetchLayersFaults, ExternalPqPropagatesReadError) {
+  MemoryBlockDevice inner(kBlock);
+  FaultyBlockDevice dev(&inner, /*fail_read_at=*/20);
+  ExternalPriorityQueue<uint64_t> pq(&dev, 1024);
+  pq.set_prefetch_depth(4);
+  Rng rng(82);
+  Status s = Status::OK();
+  for (size_t i = 0; i < 20000 && s.ok(); ++i) s = pq.Push(rng.Next());
+  uint64_t v;
+  while (s.ok() && !pq.empty()) s = pq.Pop(&v);
+  EXPECT_TRUE(s.IsIOError()) << s.ToString();
+}
+
+}  // namespace
+}  // namespace vem
