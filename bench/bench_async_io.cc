@@ -207,7 +207,7 @@ int main(int argc, char** argv) {
   if (!all_identical) {
     std::printf("ERROR: async path changed IoStats — cost model violated\n");
   }
-  if (report.WriteFile("BENCH_async_io.json")) {
+  if (report.WriteRepoFile("BENCH_async_io.json")) {
     std::printf("\nwrote BENCH_async_io.json\n");
   } else {
     std::printf("\ncould not write BENCH_async_io.json\n");

@@ -58,6 +58,18 @@ class JsonReport {
     return out;
   }
 
+  /// Write the JSON document to the repo root (VEM_SOURCE_ROOT, injected
+  /// by CMake) so results are tracked in git rather than lost in the
+  /// build tree; falls back to the working directory when built without
+  /// the define. Returns false on I/O failure.
+  bool WriteRepoFile(const std::string& filename) const {
+#ifdef VEM_SOURCE_ROOT
+    return WriteFile(std::string(VEM_SOURCE_ROOT) + "/" + filename);
+#else
+    return WriteFile(filename);
+#endif
+  }
+
   /// Write the JSON document to `path`; returns false on I/O failure.
   bool WriteFile(const std::string& path) const {
     std::FILE* f = std::fopen(path.c_str(), "w");

@@ -17,6 +17,14 @@
 // IoStats are charged in the consuming thread exactly when the
 // synchronous path would have done the I/O, so measured costs are
 // bit-identical with prefetching on or off.
+//
+// When the device carries a PrefetchGovernor (set_prefetch_governor), K
+// is a request, not a command: streams lease their depth from the
+// governor's global staging budget, report per-window overlap evidence
+// (blocks consumed vs staged-unused, consumer stalls), and follow its
+// grow/shrink/disarm decisions between windows — including falling back
+// to the synchronous path mid-stream when the governor revokes the
+// lease. Depth changes never touch IoStats.
 #pragma once
 
 #include <algorithm>
@@ -28,6 +36,7 @@
 #include "io/block_device.h"
 #include "io/buffer_pool.h"
 #include "io/io_engine.h"
+#include "io/prefetch_governor.h"
 #include "util/status.h"
 
 namespace vem {
@@ -132,10 +141,12 @@ class ExtVector {
   template <typename PtrT>
   struct IoWindow {
     IoBuffer data;
+    size_t cap = 0;  // blocks `data` can hold (leased depth may change)
     std::vector<uint64_t> ids;
     std::vector<PtrT> ptrs;
     size_t first_blk = 0;
     size_t nblks = 0;
+    size_t consumed = 0;  // distinct blocks the stream entered (governor)
     IoEngine::Ticket ticket = 0;
     bool in_flight = false;
     bool active = false;  // covers a block range (in flight or landed)
@@ -145,17 +156,21 @@ class ExtVector {
     IoWindow(IoWindow&& o) noexcept { *this = std::move(o); }
     IoWindow& operator=(IoWindow&& o) noexcept {
       data = std::move(o.data);
+      cap = o.cap;
       ids = std::move(o.ids);
       ptrs = std::move(o.ptrs);
       first_blk = o.first_blk;
       nblks = o.nblks;
+      consumed = o.consumed;
       ticket = o.ticket;
       in_flight = o.in_flight;
       active = o.active;
       st = std::move(o.st);
+      o.cap = 0;
       o.in_flight = false;
       o.active = false;
       o.nblks = 0;
+      o.consumed = 0;
       return *this;
     }
 
@@ -200,9 +215,19 @@ class ExtVector {
       // Resuming inside a partial tail block re-reads it; that path (and
       // devices without an uncounted plane) stays synchronous.
       if (rem == 0 && depth > 0 && vec->dev_->SupportsUncounted()) {
+        if (PrefetchGovernor* gov = vec->dev_->prefetch_governor()) {
+          lease_ = gov->Arm(depth);
+          depth = lease_->depth();
+          if (depth == 0) lease_.reset();  // refused: run synchronous
+        }
+      } else {
+        depth = 0;
+      }
+      if (depth > 0) {
         depth_ = depth;
         grp_[0].data =
             AllocIoBuffer(depth_ * vec->dev_->block_size(), /*zeroed=*/true);
+        grp_[0].cap = depth_;
         return;
       }
       buf_ = AllocIoBuffer(vec->dev_->block_size());
@@ -267,6 +292,7 @@ class ExtVector {
           Status s = SettleGroup(i);
           if (status_.ok() && !s.ok()) status_ = s;
         }
+        lease_.reset();  // hand staging budget back at end of stream
         return status_;
       }
       if (status_.ok() && fill_ > 0) {
@@ -314,7 +340,8 @@ class ExtVector {
         vec_->blocks_.push_back(g.ids[b]);
       }
       IoEngine* engine = dev->io_engine();
-      if (engine != nullptr && dev->SupportsAsync() && !final_flush) {
+      if (engine != nullptr && dev->SupportsAsync() && !final_flush &&
+          (lease_ == nullptr || lease_->use_engine())) {
         g.ticket = engine->Submit(
             [dev, ids = g.ids.data(), ptrs = g.ptrs.data(), nblks] {
               return dev->WriteBatchUncounted(ids, ptrs, nblks);
@@ -323,25 +350,66 @@ class ExtVector {
         g.active = true;
         pending_charge_[gcur_] = nblks;  // charged when the flight lands
         gcur_ = 1 - gcur_;
-        IoWindow<const void*>& next = grp_[gcur_];
-        if (!next.data) next.data = AllocIoBuffer(depth_ * bs, /*zeroed=*/true);
         VEM_RETURN_IF_ERROR(SettleGroup(gcur_));  // buffer reuse barrier
+        ApplyLeaseDepth();
+        IoWindow<const void*>& next = grp_[gcur_];
+        // Exact-size: a shrunk lease must release memory (see Reader).
+        if (!next.data || next.cap != depth_) {
+          next.data = AllocIoBuffer(depth_ * bs, /*zeroed=*/true);
+          next.cap = depth_;
+        }
       } else {
-        VEM_RETURN_IF_ERROR(
-            dev->WriteBatchUncounted(g.ids.data(), g.ptrs.data(), nblks));
+        if (lease_ != nullptr) {
+          // Inline flush under a lease: stall-bracketed like inline
+          // reads, so a slow device re-enables background writes.
+          uint64_t began = lease_->BeginWait();
+          Status s =
+              dev->WriteBatchUncounted(g.ids.data(), g.ptrs.data(), nblks);
+          lease_->EndWait(began, nblks);
+          VEM_RETURN_IF_ERROR(s);
+        } else {
+          VEM_RETURN_IF_ERROR(
+              dev->WriteBatchUncounted(g.ids.data(), g.ptrs.data(), nblks));
+        }
         dev->AccountWrites(nblks);
+        if (!final_flush) {
+          ApplyLeaseDepth();
+          if (g.cap != depth_) {
+            g.data = AllocIoBuffer(depth_ * bs, /*zeroed=*/true);
+            g.cap = depth_;
+          }
+        }
       }
+      if (lease_) lease_->ReportWindow(nblks, /*unused=*/0);
       gitems_ = 0;
       return Status::OK();
+    }
+
+    /// Adopt the governor's current depth for the next staging group.
+    /// Only called between groups (gitems_ == 0 staging boundary); the
+    /// write-behind waste signal is always zero, so a leased writer can
+    /// shrink toward the floor but never disarms mid-stream.
+    void ApplyLeaseDepth() {
+      if (!lease_) return;
+      size_t d = lease_->depth();
+      if (d > 0) depth_ = d;
     }
 
     /// Wait out group `i`'s flight (if any) and charge its blocks on
     /// success — only writes that physically landed are charged, the
     /// exact totals the per-block synchronous writer reaches even when a
-    /// device error cuts the stream short.
+    /// device error cuts the stream short. Blocking on an in-flight
+    /// write is the write-behind stall signal the governor grows on.
     Status SettleGroup(int i) {
       IoWindow<const void*>& g = grp_[i];
-      Status s = g.Ready(vec_->dev_->io_engine());
+      Status s;
+      if (lease_ && g.in_flight) {
+        uint64_t began = lease_->BeginWait();
+        s = g.Ready(vec_->dev_->io_engine());
+        lease_->EndWait(began);
+      } else {
+        s = g.Ready(vec_->dev_->io_engine());
+      }
       if (s.ok() && pending_charge_[i] > 0) {
         vec_->dev_->AccountWrites(pending_charge_[i]);
       }
@@ -361,6 +429,7 @@ class ExtVector {
     int gcur_ = 0;
     IoWindow<const void*> grp_[2];
     size_t pending_charge_[2] = {0, 0};
+    std::unique_ptr<PrefetchGovernor::Lease> lease_;
   };
 
   /// Sequential reader over [start, size). Synchronous mode owns one block
@@ -377,7 +446,20 @@ class ExtVector {
         : vec_(vec), pos_(start) {
       size_t depth = depth_override >= 0 ? static_cast<size_t>(depth_override)
                                          : vec->prefetch_depth_;
+      // A vector no longer than one window has nothing to fetch *ahead*
+      // of — arming would buy pure machinery cost (the tiny-frontier
+      // shape graph workloads produce by the thousand). Stay sync.
+      if (vec->blocks_.size() <= depth) depth = 0;
       if (depth > 0 && vec_->dev_->SupportsUncounted()) {
+        if (PrefetchGovernor* gov = vec_->dev_->prefetch_governor()) {
+          lease_ = gov->Arm(depth);
+          depth = lease_->depth();
+          if (depth == 0) lease_.reset();  // refused: run synchronous
+        }
+      } else {
+        depth = 0;
+      }
+      if (depth > 0) {
         depth_ = depth;
       } else {
         buf_ = AllocIoBuffer(vec->dev_->block_size());
@@ -385,6 +467,13 @@ class ExtVector {
     }
 
     ~Reader() {
+      // Report staged-but-unconsumed blocks before the lease closes: a
+      // reader destroyed mid-stream (a BFS frontier, a drained PQ run)
+      // is exactly the waste evidence the governor adapts on. Touches
+      // only window metadata, never vec_.
+      if (lease_ != nullptr) {
+        for (auto& w : win_) RetireWindow(w);
+      }
       // See ~Writer: dereference vec_ only while a fill is in flight.
       if (win_[0].in_flight || win_[1].in_flight) {
         IoEngine* engine = vec_->dev_->io_engine();
@@ -400,11 +489,14 @@ class ExtVector {
     bool Next(T* out) {
       if (!status_.ok() || pos_ >= vec_->size_) return false;
       size_t blk = pos_ / vec_->items_per_block_;
-      const char* src;
+      const char* src = nullptr;
       if (depth_ > 0) {
         src = WindowBlock(blk);
-        if (src == nullptr) return false;
-      } else {
+        // nullptr with an ok status means the governor disarmed the
+        // stream (depth_ is 0 now); fall through to the sync path.
+        if (src == nullptr && !status_.ok()) return false;
+      }
+      if (src == nullptr) {
         if (!buf_valid_ || blk != cur_block_) {
           status_ = vec_->dev_->Read(vec_->blocks_[blk], buf_.get());
           if (!status_.ok()) return false;
@@ -439,23 +531,48 @@ class ExtVector {
     /// Return the in-window bytes of block `blk`, rotating/refilling the
     /// double buffer as the stream advances. Charges one PDM read per
     /// block entered — when and only when the synchronous reader would
-    /// have issued its read.
+    /// have issued its read. Returns nullptr with status_ ok after a
+    /// governor disarm (caller continues on the sync path).
     const char* WindowBlock(size_t blk) {
       IoEngine* engine = vec_->dev_->io_engine();
       if (!win_[cur_].Covers(blk)) {
+        // Window boundary: the only point where a revoked lease takes
+        // effect (mid-window data is staged and charged-on-entry as
+        // usual, so consuming it stays correct).
+        if (lease_ != nullptr && lease_->depth() == 0) {
+          Disarm(engine);
+          return nullptr;
+        }
         IoWindow<void*>& next = win_[1 - cur_];
         if (next.Covers(blk)) {
-          status_ = next.Ready(engine);
+          status_ = ReadyTimed(next, engine);
           if (!status_.ok()) return nullptr;
           size_t follow = next.first_blk + next.nblks;
+          RetireWindow(win_[cur_]);
           cur_ = 1 - cur_;
-          StartFill(win_[1 - cur_], follow);
+          // RetireWindow's report can revoke the lease mid-boundary;
+          // don't launch a speculative fill from staging the governor
+          // just reclaimed (it would come back as self-inflicted waste).
+          // The staged current window is still consumed; the next
+          // boundary's depth check completes the disarm.
+          if (lease_ == nullptr || lease_->depth() > 0) {
+            StartFill(win_[1 - cur_], follow);
+          }
         } else {
           // Cold start or a jump outside both windows: restart the
           // pipeline at `blk`.
-          for (auto& w : win_) w.Drop(engine);
+          for (auto& w : win_) {
+            RetireWindow(w);
+            w.Drop(engine);
+          }
+          // Same mid-boundary revocation check: here there is no staged
+          // window left to consume, so disarm immediately.
+          if (lease_ != nullptr && lease_->depth() == 0) {
+            Disarm(engine);
+            return nullptr;
+          }
           StartFill(win_[cur_], blk);
-          status_ = win_[cur_].Ready(engine);
+          status_ = ReadyTimed(win_[cur_], engine);
           if (!status_.ok()) return nullptr;
           StartFill(win_[1 - cur_], blk + win_[cur_].nblks);
         }
@@ -463,24 +580,75 @@ class ExtVector {
       IoWindow<void*>& w = win_[cur_];
       if (!entered_valid_ || blk != entered_blk_) {
         vec_->dev_->AccountReads(1);
+        w.consumed++;
         entered_blk_ = blk;
         entered_valid_ = true;
       }
       return w.data.get() + (blk - w.first_blk) * vec_->dev_->block_size();
     }
 
+    /// Ready() with the consumer-stall bracket the governor adapts on.
+    Status ReadyTimed(IoWindow<void*>& w, IoEngine* engine) {
+      if (lease_ != nullptr && w.in_flight) {
+        uint64_t began = lease_->BeginWait();
+        Status s = w.Ready(engine);
+        lease_->EndWait(began);
+        return s;
+      }
+      return w.Ready(engine);
+    }
+
+    /// Report a window that is leaving service: how many of its staged
+    /// blocks the stream actually entered vs fetched for nothing.
+    void RetireWindow(IoWindow<void*>& w) {
+      if (lease_ == nullptr || !w.active || w.nblks == 0) return;
+      size_t consumed = std::min(w.consumed, w.nblks);
+      lease_->ReportWindow(consumed, w.nblks - consumed);
+      w.consumed = 0;
+      w.nblks = 0;
+      w.active = w.in_flight;  // an in-flight drop still owns its buffer
+    }
+
+    /// Governor revoked the lease: retire the staged windows, wait out
+    /// flights, release the staging memory, and continue synchronous.
+    void Disarm(IoEngine* engine) {
+      for (auto& w : win_) {
+        RetireWindow(w);
+        w.Drop(engine);
+        w.data.reset();
+        w.cap = 0;
+      }
+      lease_.reset();
+      depth_ = 0;
+      buf_ = AllocIoBuffer(vec_->dev_->block_size());
+      buf_valid_ = false;
+    }
+
     /// Begin fetching window `w` = blocks [first_blk, first_blk + K) of
     /// the vector (clipped to its end): one vectored uncounted read,
     /// submitted to the engine when the device allows background I/O,
-    /// performed inline otherwise. Errors surface when consumed.
+    /// performed inline otherwise. Errors surface when consumed. Adopts
+    /// the governor's current depth, so leased streams grow and shrink
+    /// at window-fill boundaries.
     void StartFill(IoWindow<void*>& w, size_t first_blk) {
       w.active = false;
       w.st = Status::OK();
       w.nblks = 0;
+      w.consumed = 0;
       if (first_blk >= vec_->blocks_.size()) return;
+      if (lease_ != nullptr) {
+        size_t d = lease_->depth();
+        if (d > 0) depth_ = d;  // depth 0 is handled at the next boundary
+      }
       BlockDevice* dev = vec_->dev_;
       const size_t bs = dev->block_size();
-      if (!w.data) w.data = AllocIoBuffer(depth_ * bs);
+      // Exact-size (re)allocation: growing needs the room, and a shrunk
+      // lease must actually release memory — the governor returned the
+      // difference to its budget the moment it shrank the grant.
+      if (!w.data || w.cap != depth_) {
+        w.data = AllocIoBuffer(depth_ * bs);
+        w.cap = depth_;
+      }
       w.first_blk = first_blk;
       w.nblks = std::min(depth_, vec_->blocks_.size() - first_blk);
       w.ids.assign(vec_->blocks_.begin() + first_blk,
@@ -488,12 +656,19 @@ class ExtVector {
       w.ptrs.resize(w.nblks);
       for (size_t i = 0; i < w.nblks; ++i) w.ptrs[i] = w.data.get() + i * bs;
       IoEngine* engine = dev->io_engine();
-      if (engine != nullptr && dev->SupportsAsync()) {
+      if (engine != nullptr && dev->SupportsAsync() &&
+          (lease_ == nullptr || lease_->use_engine())) {
         w.ticket = engine->Submit(
             [dev, ids = w.ids.data(), ptrs = w.ptrs.data(), n = w.nblks] {
               return dev->ReadBatchUncounted(ids, ptrs, n);
             });
         w.in_flight = true;
+      } else if (lease_ != nullptr) {
+        // Inline fill under a lease: stall-bracketed (scaled by the
+        // blocks moved) so a device turning slow re-enables the engine.
+        uint64_t began = lease_->BeginWait();
+        w.st = dev->ReadBatchUncounted(w.ids.data(), w.ptrs.data(), w.nblks);
+        lease_->EndWait(began, w.nblks);
       } else {
         w.st = dev->ReadBatchUncounted(w.ids.data(), w.ptrs.data(), w.nblks);
       }
@@ -512,6 +687,7 @@ class ExtVector {
     size_t entered_blk_ = 0;
     bool entered_valid_ = false;
     IoWindow<void*> win_[2];
+    std::unique_ptr<PrefetchGovernor::Lease> lease_;
   };
 
   /// Convenience: bulk-load from an in-memory span (test helper; still

@@ -29,6 +29,7 @@
 namespace vem {
 
 class IoEngine;
+class PrefetchGovernor;
 
 /// Memory alignment for I/O buffers. Streams and the buffer pool
 /// allocate their block buffers at this bar so devices with strict
@@ -133,12 +134,15 @@ class BlockDevice {
   /// Charge deferred PDM cost for `blocks` transfers done on the uncounted
   /// plane, as if each were a synchronous single-block op on this device.
   /// Call from the consuming thread only (counters are not atomic).
-  void AccountReads(uint64_t blocks) {
+  /// Virtual so composite devices can mirror their synchronous counting:
+  /// StripedDevice charges each child plus one parallel step per logical
+  /// block, exactly what its counted Read/Write would have recorded.
+  virtual void AccountReads(uint64_t blocks) {
     stats_.block_reads += blocks;
     stats_.parallel_reads += blocks;
     stats_.bytes_read += blocks * block_size();
   }
-  void AccountWrites(uint64_t blocks) {
+  virtual void AccountWrites(uint64_t blocks) {
     stats_.block_writes += blocks;
     stats_.parallel_writes += blocks;
     stats_.bytes_written += blocks * block_size();
@@ -160,6 +164,18 @@ class BlockDevice {
   IoEngine* io_engine() const { return engine_; }
   void set_io_engine(IoEngine* engine) { engine_ = engine; }
 
+  /// Optional staging-memory governor. When attached, streams on this
+  /// device lease their read-ahead/write-behind depth from it instead of
+  /// using a fixed K: the governor enforces a global budget and adapts
+  /// each stream's depth to its observed overlap benefit (see
+  /// prefetch_governor.h). Not owned; must outlive all streams on this
+  /// device. Null (the default) keeps fixed-depth behavior. Never affects
+  /// IoStats — depth is a wall-clock knob whatever chooses it.
+  PrefetchGovernor* prefetch_governor() const { return governor_; }
+  void set_prefetch_governor(PrefetchGovernor* governor) {
+    governor_ = governor;
+  }
+
   /// I/O accounting for this device.
   IoStats& stats() { return stats_; }
   const IoStats& stats() const { return stats_; }
@@ -167,6 +183,7 @@ class BlockDevice {
  protected:
   IoStats stats_;
   IoEngine* engine_ = nullptr;
+  PrefetchGovernor* governor_ = nullptr;
 };
 
 /// RAII probe: captures a device's counters on construction; delta() gives

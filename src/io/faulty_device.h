@@ -54,6 +54,42 @@ class FaultyBlockDevice final : public BlockDevice {
     return s;
   }
 
+  // Uncounted plane: forwarded (when the inner device has one) with the
+  // same injection schedule, so armed read-ahead/write-behind streams —
+  // including striped devices with a faulty child — must surface the
+  // fault as Status when the speculative window is consumed. Injection
+  // counts physical transfer attempts on whichever plane they happen.
+  // Stays SupportsAsync() == false: the fault counters are not atomic.
+  bool SupportsUncounted() const override {
+    return inner_->SupportsUncounted();
+  }
+  Status ReadUncounted(uint64_t id, void* buf) override {
+    if (++reads_seen_ == fail_read_at_) {
+      return Status::IOError("injected read fault #" +
+                             std::to_string(reads_seen_));
+    }
+    return inner_->ReadUncounted(id, buf);
+  }
+  Status WriteUncounted(uint64_t id, const void* buf) override {
+    if (++writes_seen_ == fail_write_at_) {
+      return Status::IOError("injected write fault #" +
+                             std::to_string(writes_seen_));
+    }
+    return inner_->WriteUncounted(id, buf);
+  }
+
+  /// Deferred accounting reaches the inner device too: on the counted
+  /// plane inner_->Read/Write charge the inner stats per block, so the
+  /// uncounted-then-account path must leave them identical.
+  void AccountReads(uint64_t blocks) override {
+    inner_->AccountReads(blocks);
+    BlockDevice::AccountReads(blocks);
+  }
+  void AccountWrites(uint64_t blocks) override {
+    inner_->AccountWrites(blocks);
+    BlockDevice::AccountWrites(blocks);
+  }
+
   uint64_t Allocate() override { return inner_->Allocate(); }
   void Free(uint64_t id) override { inner_->Free(id); }
   uint64_t num_allocated() const override { return inner_->num_allocated(); }

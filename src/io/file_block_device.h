@@ -42,16 +42,19 @@ class FileBlockDevice final : public BlockDevice {
   /// Creates/truncates `path`. The file is removed on destruction when
   /// `unlink_on_close` is true (the default; benchmark scratch files).
   /// `direct_io` requests O_DIRECT cold-cache mode (see file comment;
-  /// falls back to buffered I/O when unsupported).
+  /// falls back to buffered I/O when unsupported). `sync_on_close` issues
+  /// a Sync() barrier before the fd closes.
   FileBlockDevice(std::string path, size_t block_size,
-                  bool unlink_on_close = true, bool direct_io = false);
+                  bool unlink_on_close = true, bool direct_io = false,
+                  bool sync_on_close = false);
 
-  /// Convenience: take block_size and direct_io from Options, so the
-  /// documented machine configuration drives the device directly.
+  /// Convenience: take block_size, direct_io and sync_on_close from
+  /// Options, so the documented machine configuration drives the device
+  /// directly.
   FileBlockDevice(std::string path, const Options& opts,
                   bool unlink_on_close = true)
       : FileBlockDevice(std::move(path), opts.block_size, unlink_on_close,
-                        opts.direct_io) {}
+                        opts.direct_io, opts.sync_on_close) {}
 
   ~FileBlockDevice() override;
 
@@ -64,6 +67,13 @@ class FileBlockDevice final : public BlockDevice {
   /// True when the fd really is in O_DIRECT mode (requested AND the
   /// filesystem + block size allowed it).
   bool direct_io_active() const { return direct_io_active_; }
+
+  /// Durability barrier: fdatasync the backing file, so every completed
+  /// write has reached the storage medium, not just the drive's volatile
+  /// write cache. O_DIRECT alone does NOT give this — it bypasses the OS
+  /// page cache, but the device may still buffer. Costs one device cache
+  /// flush; never touches IoStats (durability is not a PDM transfer).
+  Status Sync();
 
   size_t block_size() const override { return block_size_; }
   Status Read(uint64_t id, void* buf) override;
@@ -110,6 +120,7 @@ class FileBlockDevice final : public BlockDevice {
   std::string path_;
   size_t block_size_;
   bool unlink_on_close_;
+  bool sync_on_close_ = false;
   bool direct_io_active_ = false;
   int fd_ = -1;
   // Atomic so engine-thread bounds checks may race with Allocate: an async

@@ -34,6 +34,23 @@ IoEngine::Ticket IoEngine::Submit(std::function<Status()> op) {
 
 Status IoEngine::Wait(Ticket t) {
   std::unique_lock<std::mutex> lock(mu_);
+  // Self-steal: if the awaited job is still queued (no worker free),
+  // execute it on this thread instead of idling. This keeps nested
+  // batches deadlock-free — a job running on a worker may itself
+  // RunBatch (a StripedDevice fill fanning out to its D children) and
+  // wait for its sub-jobs; even with every worker blocked in such a
+  // wait, each waiter runs its own sub-jobs, so the tree always makes
+  // progress. Only the caller's OWN ticket is stolen: running unrelated
+  // jobs here would stretch the wait past the ticket's completion and
+  // corrupt the prefetch governor's stall measurement around Wait.
+  for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+    if (it->ticket != t) continue;
+    Job job = std::move(*it);
+    queue_.erase(it);
+    lock.unlock();
+    Status s = job.op();
+    return s;  // consumed directly; never enters done_
+  }
   done_cv_.wait(lock, [this, t] { return done_.count(t) != 0; });
   auto it = done_.find(t);
   Status s = std::move(it->second);

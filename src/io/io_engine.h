@@ -53,7 +53,11 @@ class IoEngine {
   Ticket Submit(std::function<Status()> op);
 
   /// Block until the job behind `t` finishes; returns its Status. Each
-  /// ticket is redeemable once (the result is consumed).
+  /// ticket is redeemable once (the result is consumed). If the job is
+  /// still queued (no worker free), the waiter executes it itself
+  /// (self-steal), so jobs may nest waits — e.g. a striped-device fill
+  /// fanning out to its child disks via RunBatch — without deadlocking
+  /// the pool, and a wait never runs unrelated work.
   Status Wait(Ticket t);
 
   /// Run `ops` with maximal concurrency and return the first error (all

@@ -49,6 +49,81 @@ Status StripedDevice::ParallelStep(const std::function<Status(size_t)>& op) {
   return engine_->RunBatch(std::move(jobs));
 }
 
+bool StripedDevice::SupportsUncounted() const {
+  for (const auto& d : disks_) {
+    if (!d->SupportsUncounted()) return false;
+  }
+  return !disks_.empty();
+}
+
+bool StripedDevice::SupportsAsync() const {
+  for (const auto& d : disks_) {
+    if (!d->SupportsAsync()) return false;
+  }
+  return !disks_.empty();
+}
+
+Status StripedDevice::ReadUncounted(uint64_t id, void* buf) {
+  char* out = static_cast<char*>(buf);
+  return ParallelStep([&](size_t d) {
+    return disks_[d]->ReadUncounted(id, out + d * child_block_size_);
+  });
+}
+
+Status StripedDevice::WriteUncounted(uint64_t id, const void* buf) {
+  const char* in = static_cast<const char*>(buf);
+  return ParallelStep([&](size_t d) {
+    return disks_[d]->WriteUncounted(id, in + d * child_block_size_);
+  });
+}
+
+Status StripedDevice::BatchUncounted(const uint64_t* ids, void* const* bufs,
+                                     size_t n, bool write) {
+  if (n == 0) return Status::OK();
+  // Disk d owns byte range [d*cbs, (d+1)*cbs) of every logical block, at
+  // the same child id (lockstep allocation). Build each disk's buffer
+  // list once; the arrays outlive the ParallelStep (it joins before
+  // returning), so child jobs may read them from engine workers.
+  std::vector<std::vector<void*>> child_bufs(disks_.size());
+  for (size_t d = 0; d < disks_.size(); ++d) {
+    child_bufs[d].resize(n);
+    for (size_t i = 0; i < n; ++i) {
+      child_bufs[d][i] = static_cast<char*>(bufs[i]) + d * child_block_size_;
+    }
+  }
+  return ParallelStep([&](size_t d) {
+    if (write) {
+      return disks_[d]->WriteBatchUncounted(ids, child_bufs[d].data(), n);
+    }
+    return disks_[d]->ReadBatchUncounted(ids, child_bufs[d].data(), n);
+  });
+}
+
+Status StripedDevice::ReadBatchUncounted(const uint64_t* ids,
+                                         void* const* bufs, size_t n) {
+  return BatchUncounted(ids, bufs, n, /*write=*/false);
+}
+
+Status StripedDevice::WriteBatchUncounted(const uint64_t* ids,
+                                          const void* const* bufs, size_t n) {
+  return BatchUncounted(ids, const_cast<void* const*>(bufs), n,
+                        /*write=*/true);
+}
+
+void StripedDevice::AccountReads(uint64_t blocks) {
+  for (auto& disk : disks_) disk->AccountReads(blocks);
+  stats_.block_reads += blocks * disks_.size();
+  stats_.parallel_reads += blocks;
+  stats_.bytes_read += blocks * logical_block_size_;
+}
+
+void StripedDevice::AccountWrites(uint64_t blocks) {
+  for (auto& disk : disks_) disk->AccountWrites(blocks);
+  stats_.block_writes += blocks * disks_.size();
+  stats_.parallel_writes += blocks;
+  stats_.bytes_written += blocks * logical_block_size_;
+}
+
 Status StripedDevice::Read(uint64_t id, void* buf) {
   char* out = static_cast<char*>(buf);
   VEM_RETURN_IF_ERROR(ParallelStep([&](size_t d) {

@@ -14,8 +14,18 @@
 // step" accounting physically true for real (file-backed) child disks.
 // Stats are unaffected: each child still counts its own transfer, the
 // parent still counts one parallel step per D physical blocks.
+//
+// Uncounted plane: forwarded to the children, so read-ahead/write-behind
+// streams overlap on D-disk configurations instead of silently falling
+// back to synchronous. One uncounted batch of n logical blocks becomes D
+// child batches — each disk moves its stripes of all n blocks in one
+// vectored child call, and the D calls run engine-parallel (one parallel
+// step per batch). Deferred accounting mirrors the counted plane exactly:
+// AccountReads/Writes charges every child plus one parallel step per
+// logical block, so IoStats are bit-identical with overlap on or off.
 #pragma once
 
+#include <atomic>
 #include <functional>
 #include <memory>
 #include <vector>
@@ -49,6 +59,27 @@ class StripedDevice final : public BlockDevice {
   size_t block_size() const override { return logical_block_size_; }
   Status Read(uint64_t id, void* buf) override;
   Status Write(uint64_t id, const void* buf) override;
+
+  // Uncounted plane (see file comment). Supported when every child
+  // supports it; async-capable when every child is, in which case a
+  // whole striped fill may run on an engine worker — the nested per-disk
+  // fan-out is safe because IoEngine::Wait work-steals.
+  bool SupportsUncounted() const override;
+  bool SupportsAsync() const override;
+  Status ReadUncounted(uint64_t id, void* buf) override;
+  Status WriteUncounted(uint64_t id, const void* buf) override;
+  Status ReadBatchUncounted(const uint64_t* ids, void* const* bufs,
+                            size_t n) override;
+  Status WriteBatchUncounted(const uint64_t* ids, const void* const* bufs,
+                             size_t n) override;
+
+  /// Deferred accounting for uncounted logical-block transfers: charge
+  /// each child for its stripe and this device for D physical blocks and
+  /// one parallel step per logical block — the identical totals the
+  /// counted Read/Write path records.
+  void AccountReads(uint64_t blocks) override;
+  void AccountWrites(uint64_t blocks) override;
+
   uint64_t Allocate() override;
   void Free(uint64_t id) override;
   uint64_t num_allocated() const override { return allocated_; }
@@ -62,11 +93,20 @@ class StripedDevice final : public BlockDevice {
   /// concurrently when an engine is attached, sequentially otherwise.
   Status ParallelStep(const std::function<Status(size_t)>& op);
 
+  /// Shared engine for the uncounted batch entry points: one ParallelStep
+  /// in which disk d transfers its stripes of all n logical blocks via
+  /// the child's own batched uncounted plane (contiguous ids coalesce in
+  /// file-backed children).
+  Status BatchUncounted(const uint64_t* ids, void* const* bufs, size_t n,
+                        bool write);
+
   size_t logical_block_size_;
   size_t child_block_size_;
   std::vector<std::unique_ptr<BlockDevice>> disks_;
   uint64_t allocated_ = 0;
-  bool valid_ = true;
+  // Atomic because uncounted transfers may inspect it from engine
+  // workers while the owning thread allocates (which can clear it).
+  std::atomic<bool> valid_{true};
 };
 
 }  // namespace vem

@@ -39,6 +39,11 @@ class ExternalPriorityQueue {
     size_t half = memory_budget_bytes / 2;
     heap_capacity_ = std::max<size_t>(half / sizeof(T), 16);
     max_runs_ = std::max<size_t>(half / dev->block_size(), 2);
+    // Staging budget for prefetch arming: the same merge-buffer half of
+    // M. Fixed-K arming with R live runs would stage 2*K*R blocks
+    // unbounded; this cap (or the device's governor, which supersedes
+    // it) keeps total staging within the budget.
+    staging_budget_blocks_ = std::max<size_t>(half / dev->block_size(), 2);
   }
 
   size_t size() const { return size_; }
@@ -50,12 +55,29 @@ class ExternalPriorityQueue {
   size_t active_runs() const { return runs_.size(); }
 
   /// K-block write-behind on spilled-run writers and read-ahead on every
-  /// run's merge/pop reader (0 = synchronous, the default). Each live run
-  /// then holds 2K blocks of window memory on top of its block buffer, so
-  /// keep K small relative to the per-run budget (max_runs is derived
-  /// from M/2). Takes effect for runs created after the call. Never
+  /// run's merge/pop reader (0 = synchronous, the default). Arming is
+  /// budget-aware, not per-run-unconditional: when the device carries a
+  /// PrefetchGovernor the knob is a request the governor arbitrates
+  /// globally; without one the PQ arms new runs only while total staging
+  /// (2K blocks per armed run) fits in the M/2-derived budget — the
+  /// oldest (longest-lived, most-streamed) runs keep their depth, later
+  /// runs run synchronous until a drained or collapsed run hands its
+  /// staging back. Takes effect for runs created after the call. Never
   /// changes IoStats.
   void set_prefetch_depth(size_t k) { prefetch_depth_ = k; }
+
+  /// Blocks of read-ahead staging currently held by armed runs. Counts
+  /// every run whose reader still exists — a drained run's windows live
+  /// until the reader is destroyed, so validity alone would undercount
+  /// (governor-less accounting; tests assert the budget holds).
+  size_t armed_staging_blocks() const {
+    size_t total = 0;
+    for (const auto& run : runs_) {
+      if (run->reader != nullptr) total += 2 * run->armed_depth;
+    }
+    return total;
+  }
+  size_t staging_budget_blocks() const { return staging_budget_blocks_; }
 
   /// Insert one item; O(1/B) amortized I/Os.
   Status Push(const T& v) {
@@ -104,6 +126,10 @@ class ExternalPriorityQueue {
       if (!run.reader->Next(&run.head)) {
         VEM_RETURN_IF_ERROR(run.reader->status());
         run.valid = false;
+        // Release the drained reader now — its prefetch windows would
+        // otherwise hold 2K blocks of staging until the next collapse.
+        run.reader.reset();
+        run.armed_depth = 0;
       }
     }
     size_--;
@@ -118,6 +144,7 @@ class ExternalPriorityQueue {
     std::unique_ptr<typename ExtVector<T>::Reader> reader;
     T head{};
     bool valid = false;
+    size_t armed_depth = 0;  ///< K granted to this run's streams (0 = sync)
 
     /// Items not yet consumed (head included).
     size_t remaining() const {
@@ -137,14 +164,37 @@ class ExternalPriorityQueue {
   /// defer to each vector's own depth).
   int stream_depth() const { return detail::StreamDepth(prefetch_depth_); }
 
+  /// Stream depth for a NEW run's writer+reader, bounded by the staging
+  /// budget. With a governor on the device the global budget (and the
+  /// adaptive policy) lives there — pass the request through. Without
+  /// one, grant K only while every armed run's 2K staging plus this
+  /// run's fits the budget; otherwise the run streams synchronously.
+  int ArmRunDepth() const {
+    if (prefetch_depth_ == 0) return detail::StreamDepth(0);
+    if (dev_->prefetch_governor() != nullptr) {
+      return static_cast<int>(prefetch_depth_);
+    }
+    if (armed_staging_blocks() + 2 * prefetch_depth_ > staging_budget_blocks_) {
+      return 0;
+    }
+    return static_cast<int>(prefetch_depth_);
+  }
+
   Status SpillHeap() {
     std::sort(heap_.begin(), heap_.end(), cmp_);
     auto run = std::make_unique<RunState>(dev_);
+    int depth = ArmRunDepth();
     VEM_RETURN_IF_ERROR(
-        run->data.AppendAll(heap_.data(), heap_.size(), stream_depth()));
+        run->data.AppendAll(heap_.data(), heap_.size(), depth));
     heap_.clear();
     run->reader = std::make_unique<typename ExtVector<T>::Reader>(
-        &run->data, 0, stream_depth());
+        &run->data, 0, depth);
+    // Mirror the Reader's tiny-vector gate: a run that fits in one
+    // window stayed synchronous and holds no staging to charge.
+    run->armed_depth =
+        depth > 0 && run->data.num_blocks() > static_cast<size_t>(depth)
+            ? static_cast<size_t>(depth)
+            : 0;
     run->valid = run->reader->Next(&run->head);
     VEM_RETURN_IF_ERROR(run->reader->status());
     if (run->valid) runs_.push_back(std::move(run));
@@ -171,13 +221,18 @@ class ExternalPriorityQueue {
     if (merge_count < 2) merge_count = std::min<size_t>(2, runs_.size());
 
     auto merged = std::make_unique<RunState>(dev_);
+    // The merge writer coexists with EVERY live run's reader (the runs
+    // being merged only release their staging when erased below), so it
+    // arms against the full current staging — ArmRunDepth counts all
+    // valid runs. The budget holds even at the collapse peak.
+    int writer_depth = ArmRunDepth();
     {
       LoserTree<T, Cmp> tree(merge_count, cmp_);
       for (size_t i = 0; i < merge_count; ++i) {
         if (runs_[i]->valid) tree.SetSource(i, runs_[i]->head);
       }
       tree.Build();
-      typename ExtVector<T>::Writer writer(&merged->data, stream_depth());
+      typename ExtVector<T>::Writer writer(&merged->data, writer_depth);
       while (tree.HasWinner()) {
         if (!writer.Append(tree.top())) return writer.status();
         RunState& run = *runs_[tree.winner()];
@@ -191,10 +246,17 @@ class ExternalPriorityQueue {
       }
       VEM_RETURN_IF_ERROR(writer.Finish());
     }
-    // Drop the drained runs, keep the rest.
+    // Drop the drained runs, keep the rest. Their staging is released
+    // now, so the merged run's reader re-arms against the survivors.
     runs_.erase(runs_.begin(), runs_.begin() + merge_count);
+    int reader_depth = ArmRunDepth();
     merged->reader = std::make_unique<typename ExtVector<T>::Reader>(
-        &merged->data, 0, stream_depth());
+        &merged->data, 0, reader_depth);
+    merged->armed_depth = reader_depth > 0 &&
+                                  merged->data.num_blocks() >
+                                      static_cast<size_t>(reader_depth)
+                              ? static_cast<size_t>(reader_depth)
+                              : 0;
     merged->valid = merged->reader->Next(&merged->head);
     VEM_RETURN_IF_ERROR(merged->reader->status());
     if (merged->valid) runs_.push_back(std::move(merged));
@@ -213,6 +275,7 @@ class ExternalPriorityQueue {
   size_t spills_ = 0;
   size_t collapses_ = 0;
   size_t prefetch_depth_ = 0;
+  size_t staging_budget_blocks_ = 2;
 };
 
 }  // namespace vem

@@ -77,7 +77,10 @@ class ExternalSorter {
   /// the others — the batched-refill overlap that makes the merge run at
   /// device speed. Never changes IoStats (accounting is deferred to
   /// consumption; see block_device.h); costs ~(k + 1) * 2K blocks of RAM
-  /// on top of M, so keep K small relative to M/B.
+  /// on top of M, so keep K small relative to M/B — or attach a
+  /// PrefetchGovernor to the device, which turns K into a request: every
+  /// run reader/writer leases its depth from the global staging budget
+  /// and the merge refills grow or shed depth adaptively.
   void set_prefetch_depth(size_t k) { prefetch_depth_ = k; }
 
   /// Sort `input` into `output`. `output` must be an empty vector on the

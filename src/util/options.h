@@ -39,6 +39,13 @@ struct Options {
   /// pread/pwrite rather than compute.
   size_t io_threads = 2;
 
+  /// Global staging budget for the adaptive PrefetchGovernor, in bytes.
+  /// 0 (the default) derives it as memory_budget / 2 — read-ahead staging
+  /// competes with the algorithm's working set for M, so depth must be
+  /// allocated against it (the survey's prefetching/caching duality), not
+  /// hard-coded per stream. See prefetch_governor.h.
+  size_t prefetch_budget_bytes = 0;
+
   /// Open FileBlockDevice scratch files with O_DIRECT so transfers bypass
   /// the OS page cache (cold-cache mode). On a warm page cache every read
   /// is RAM speed and the engine's compute/transfer overlap is invisible;
@@ -48,6 +55,13 @@ struct Options {
   /// (FileBlockDevice::direct_io_active() reports the outcome). Never
   /// affects IoStats either way.
   bool direct_io = false;
+
+  /// fdatasync FileBlockDevice scratch files before closing them, so
+  /// timed writes are durably on the medium rather than absorbed by the
+  /// drive's volatile write cache (O_DIRECT bypasses the OS page cache
+  /// but not the device cache). First step of the durability story;
+  /// FileBlockDevice::Sync() exposes the same barrier mid-run.
+  bool sync_on_close = false;
 
   /// Per-type block capacity: how many T fit in one block.
   template <typename T>

@@ -3,13 +3,17 @@
 // sweep, BFS, connected components, list ranking, and the external
 // priority queue. Each case runs the same workload twice on fresh file
 // devices — synchronous (depth 0, no engine) vs armed (depth K, with or
-// without an IoEngine) — and demands identical outputs and bit-identical
-// IoStats: overlap is a wall-clock property, never a cost-model one.
-// A FaultyDevice case checks that armed layers still propagate device
-// errors as Status.
+// without an IoEngine, with or without an adaptive PrefetchGovernor) —
+// and demands identical outputs and bit-identical IoStats: overlap is a
+// wall-clock property, never a cost-model one, and the governor only
+// ever moves depth. A striped-device case covers the forwarded
+// uncounted plane on D-disk configurations, and FaultyDevice cases
+// check that armed layers (including a striped device with a faulty
+// child) still propagate device errors as Status.
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <memory>
 #include <ostream>
 #include <string>
 #include <vector>
@@ -23,6 +27,8 @@
 #include "io/file_block_device.h"
 #include "io/io_engine.h"
 #include "io/memory_block_device.h"
+#include "io/prefetch_governor.h"
+#include "io/striped_device.h"
 #include "search/external_pq.h"
 #include "sort/distribution_sort.h"
 #include "util/random.h"
@@ -37,13 +43,25 @@ std::string ScratchPath(const char* name) {
   return std::string("/tmp/vem_prefetch_layers_") + name + ".bin";
 }
 
-/// One armed configuration: stream depth K, engine on/off.
+/// One armed configuration: stream depth K, engine on/off, adaptive
+/// governor on/off.
 struct Cfg {
   size_t depth;
   bool engine;
+  bool governor;
 };
 std::ostream& operator<<(std::ostream& os, const Cfg& c) {
-  return os << "K" << c.depth << (c.engine ? "_engine" : "_sync");
+  return os << "K" << c.depth << (c.engine ? "_engine" : "_sync")
+            << (c.governor ? "_gov" : "");
+}
+
+PrefetchGovernor::Config SmallGovConfig() {
+  PrefetchGovernor::Config cfg;
+  cfg.budget_blocks = 64;  // tight: exercises refusals and partial grants
+  cfg.min_depth = 2;
+  cfg.max_depth = 16;
+  cfg.adapt_windows = 2;  // adapt often: exercises grow/shrink mid-run
+  return cfg;
 }
 
 class PrefetchLayers : public ::testing::TestWithParam<Cfg> {
@@ -68,11 +86,14 @@ class PrefetchLayers : public ::testing::TestWithParam<Cfg> {
                           kBlock);
       ASSERT_TRUE(dev.valid());
       IoEngine engine(2);
+      PrefetchGovernor governor(SmallGovConfig());
       if (cfg.engine) dev.set_io_engine(&engine);
+      if (cfg.governor) dev.set_prefetch_governor(&governor);
       IoProbe probe(dev);
       run(&dev, cfg.depth, /*armed=*/true);
       *armed_cost = probe.delta();
       dev.set_io_engine(nullptr);
+      dev.set_prefetch_governor(nullptr);
     }
   }
 };
@@ -430,19 +451,100 @@ TEST_P(PrefetchLayers, EmptyInputsStayWellBehaved) {
   dev.set_io_engine(nullptr);
 }
 
+// ----------------------------------------------------- striped device
+
+/// Build a D=4 striped device over fresh file-backed children. With the
+/// forwarded uncounted plane, armed streams overlap on the D-disk
+/// configuration instead of silently falling back to synchronous — and
+/// parent AND per-child stats must stay bit-identical to the sync run.
+std::unique_ptr<StripedDevice> MakeStripedFiles(const char* tag) {
+  std::vector<std::unique_ptr<BlockDevice>> disks;
+  for (int d = 0; d < 4; ++d) {
+    auto child = std::make_unique<FileBlockDevice>(
+        ScratchPath((std::string(tag) + "_d" + std::to_string(d)).c_str()),
+        kBlock);
+    if (!child->valid()) return nullptr;
+    disks.push_back(std::move(child));
+  }
+  return std::make_unique<StripedDevice>(std::move(disks));
+}
+
+TEST_P(PrefetchLayers, StripedDeviceIdentity) {
+  Cfg cfg = GetParam();
+  Rng rng(79);
+  std::vector<uint64_t> data(30000);
+  for (auto& v : data) v = rng.Uniform(5000);
+  std::vector<uint64_t> want = data;
+  std::sort(want.begin(), want.end());
+
+  std::vector<uint64_t> out_sync, out_armed;
+  IoStats sync_cost, armed_cost, sync_disk0, armed_disk0;
+  auto run = [&](StripedDevice* dev, size_t depth, bool armed) {
+    ASSERT_TRUE(dev->SupportsUncounted());
+    ExtVector<uint64_t> input(dev);
+    ASSERT_TRUE(input.AppendAll(data.data(), data.size()).ok());
+    DistributionSorter<uint64_t> sorter(dev, 4 * kMem);
+    sorter.set_prefetch_depth(depth);
+    ExtVector<uint64_t> out(dev);
+    ASSERT_TRUE(sorter.Sort(input, &out).ok());
+    ASSERT_TRUE(out.ReadAll(armed ? &out_armed : &out_sync).ok());
+  };
+  {
+    auto dev = MakeStripedFiles("striped_sync");
+    ASSERT_NE(dev, nullptr);
+    ASSERT_TRUE(dev->valid());
+    IoProbe probe(*dev);
+    run(dev.get(), 0, /*armed=*/false);
+    sync_cost = probe.delta();
+    sync_disk0 = dev->disk_stats(0);
+  }
+  {
+    auto dev = MakeStripedFiles("striped_armed");
+    ASSERT_NE(dev, nullptr);
+    ASSERT_TRUE(dev->valid());
+    IoEngine engine(2);
+    PrefetchGovernor governor(SmallGovConfig());
+    if (cfg.engine) dev->set_io_engine(&engine);
+    if (cfg.governor) dev->set_prefetch_governor(&governor);
+    IoProbe probe(*dev);
+    run(dev.get(), cfg.depth, /*armed=*/true);
+    armed_cost = probe.delta();
+    armed_disk0 = dev->disk_stats(0);
+    dev->set_io_engine(nullptr);
+    dev->set_prefetch_governor(nullptr);
+  }
+  EXPECT_EQ(out_sync, want);
+  EXPECT_EQ(out_armed, want);
+  EXPECT_TRUE(sync_cost == armed_cost)
+      << "sync " << sync_cost.ToString() << " vs armed "
+      << armed_cost.ToString();
+  // Deferred accounting must reach the children too: disk 0 saw the
+  // same traffic in both runs, and one parent parallel step moved D=4
+  // physical blocks.
+  EXPECT_TRUE(sync_disk0 == armed_disk0)
+      << "disk0 sync " << sync_disk0.ToString() << " vs armed "
+      << armed_disk0.ToString();
+  EXPECT_EQ(armed_cost.block_reads, 4 * armed_cost.parallel_reads);
+  EXPECT_EQ(armed_cost.block_writes, 4 * armed_cost.parallel_writes);
+}
+
 INSTANTIATE_TEST_SUITE_P(
     Configs, PrefetchLayers,
-    ::testing::Values(Cfg{2, false}, Cfg{4, true}, Cfg{16, true}),
+    ::testing::Values(Cfg{2, false, false}, Cfg{4, true, false},
+                      Cfg{16, true, false}, Cfg{4, false, true},
+                      Cfg{16, true, true}),
     [](const ::testing::TestParamInfo<Cfg>& info) {
       return "K" + std::to_string(info.param.depth) +
-             (info.param.engine ? "_engine" : "_sync");
+             (info.param.engine ? "_engine" : "_sync") +
+             (info.param.governor ? "_gov" : "");
     });
 
 // --------------------------------------------------- error propagation
 
-// Armed layers on a device without the uncounted plane (FaultyBlockDevice)
-// must fall back to synchronous streams and still surface injected
-// IOErrors as Status — no crash, no silent truncation.
+// Armed layers must surface injected IOErrors as Status — no crash, no
+// silent truncation — whether the fault fires on the counted plane or
+// inside a speculative window fill (FaultyBlockDevice forwards the
+// uncounted plane of its inner device with the same injection schedule).
 TEST(PrefetchLayersFaults, DistributionSortPropagatesReadError) {
   MemoryBlockDevice inner(kBlock);
   Rng rng(80);
@@ -496,6 +598,48 @@ TEST(PrefetchLayersFaults, ExternalPqPropagatesReadError) {
   for (size_t i = 0; i < 20000 && s.ok(); ++i) s = pq.Push(rng.Next());
   uint64_t v;
   while (s.ok() && !pq.empty()) s = pq.Pop(&v);
+  EXPECT_TRUE(s.IsIOError()) << s.ToString();
+}
+
+// A striped device with one faulty child: the injected error must travel
+// child -> striped uncounted plane -> armed stream -> Status, for both
+// directions.
+TEST(PrefetchLayersFaults, StripedFaultyChildPropagatesReadError) {
+  MemoryBlockDevice faulty_inner(kBlock);
+  std::vector<std::unique_ptr<BlockDevice>> disks;
+  disks.push_back(std::make_unique<MemoryBlockDevice>(kBlock));
+  disks.push_back(std::make_unique<FaultyBlockDevice>(&faulty_inner,
+                                                      /*fail_read_at=*/30));
+  disks.push_back(std::make_unique<MemoryBlockDevice>(kBlock));
+  StripedDevice dev(std::move(disks));
+  ASSERT_TRUE(dev.valid());
+  ASSERT_TRUE(dev.SupportsUncounted());
+
+  Rng rng(83);
+  std::vector<uint64_t> data(20000);
+  for (auto& v : data) v = rng.Next();
+  ExtVector<uint64_t> vec(&dev);
+  ASSERT_TRUE(vec.AppendAll(data.data(), data.size(), /*depth=*/8).ok());
+  std::vector<uint64_t> out;
+  Status s = vec.ReadAll(&out, /*depth=*/8);
+  EXPECT_TRUE(s.IsIOError()) << s.ToString();
+}
+
+TEST(PrefetchLayersFaults, StripedFaultyChildPropagatesWriteError) {
+  MemoryBlockDevice faulty_inner(kBlock);
+  std::vector<std::unique_ptr<BlockDevice>> disks;
+  disks.push_back(std::make_unique<MemoryBlockDevice>(kBlock));
+  disks.push_back(std::make_unique<MemoryBlockDevice>(kBlock));
+  disks.push_back(std::make_unique<FaultyBlockDevice>(
+      &faulty_inner, FaultyBlockDevice::kNever, /*fail_write_at=*/40));
+  StripedDevice dev(std::move(disks));
+  ASSERT_TRUE(dev.valid());
+
+  Rng rng(84);
+  std::vector<uint64_t> data(20000);
+  for (auto& v : data) v = rng.Next();
+  ExtVector<uint64_t> vec(&dev);
+  Status s = vec.AppendAll(data.data(), data.size(), /*depth=*/8);
   EXPECT_TRUE(s.IsIOError()) << s.ToString();
 }
 
