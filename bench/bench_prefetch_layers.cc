@@ -457,12 +457,13 @@ int main(int argc, char** argv) {
     std::printf("ERROR: an armed scenario fell below %.2fx sync\n",
                 kMinSpeedup);
   }
-  if (!smoke) {
-    if (report.WriteRepoFile("BENCH_prefetch_layers.json")) {
-      std::printf("\nwrote BENCH_prefetch_layers.json\n");
-    } else {
-      std::printf("\ncould not write BENCH_prefetch_layers.json\n");
-    }
+  if (smoke) {
+    // CI artifact: smoke-sized numbers, kept out of the tracked JSON.
+    (void)report.WriteFile("BENCH_prefetch_layers.smoke.json");
+  } else if (report.WriteRepoFile("BENCH_prefetch_layers.json")) {
+    std::printf("\nwrote BENCH_prefetch_layers.json\n");
+  } else {
+    std::printf("\ncould not write BENCH_prefetch_layers.json\n");
   }
   if (HasFlag(argc, argv, "--json")) {
     std::printf("%s", report.Render().c_str());

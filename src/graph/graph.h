@@ -7,6 +7,7 @@
 #include <cstdint>
 
 #include "core/ext_vector.h"
+#include "io/memory_arbiter.h"
 #include "sort/external_sort.h"
 #include "util/status.h"
 
@@ -33,6 +34,11 @@ class ExtGraph {
  public:
   ExtGraph(BlockDevice* dev, BufferPool* pool)
       : num_vertices_(0), offsets_(dev, pool), neighbors_(dev, pool) {}
+
+  /// Offsets paged through an arbitrated machine memory: frontier scans
+  /// (staging) and offset lookups (frames) share one M.
+  explicit ExtGraph(ArbitratedMemory* mem)
+      : ExtGraph(mem->device(), mem->pool()) {}
 
   /// Build from an arc list. For an undirected graph pass both (u,v) and
   /// (v,u), or set `symmetrize` to add reverses automatically.

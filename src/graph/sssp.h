@@ -15,8 +15,10 @@
 
 #include "core/ext_vector.h"
 #include "graph/graph.h"
+#include "io/memory_arbiter.h"
 #include "search/external_pq.h"
 #include "sort/external_sort.h"
+#include "util/options.h"
 #include "util/status.h"
 
 namespace vem {
@@ -42,6 +44,11 @@ class WeightedGraph {
   WeightedGraph(BlockDevice* dev, BufferPool* pool)
       : num_vertices_(0), offsets_(dev, pool), targets_(dev, pool),
         weights_(dev, pool) {}
+
+  /// Adjacency paged through an arbitrated machine memory (one M for
+  /// frames and staging; see io/memory_arbiter.h).
+  explicit WeightedGraph(ArbitratedMemory* mem)
+      : WeightedGraph(mem->device(), mem->pool()) {}
 
   /// Build from arcs; set `symmetrize` for undirected graphs.
   Status Build(const ExtVector<WeightedEdge>& arcs, uint64_t n,
@@ -127,6 +134,11 @@ class SemiExternalSssp {
   SemiExternalSssp(BlockDevice* dev, BufferPool* pool,
                    size_t memory_budget_bytes)
       : dev_(dev), pool_(pool), memory_budget_(memory_budget_bytes) {}
+
+  /// Arbitrated machine memory: the tentative-distance pages (frames)
+  /// and the PQ's run streams (staging) charge one shared M.
+  SemiExternalSssp(ArbitratedMemory* mem, const Options& opts)
+      : SemiExternalSssp(mem->device(), mem->pool(), opts.memory_budget) {}
 
   /// Shortest distances from `source`; out[v] = kInfDist if unreachable.
   /// `out` is a dense pooled vector of num_vertices entries.

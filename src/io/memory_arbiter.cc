@@ -1,0 +1,364 @@
+#include "io/memory_arbiter.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "util/options.h"
+
+namespace vem {
+
+namespace {
+uint64_t SteadyNowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+/// Same half-life fold the governor uses for its shape history.
+double Fold(bool have, double ewma, double sample) {
+  return have ? 0.5 * ewma + 0.5 * sample : sample;
+}
+}  // namespace
+
+MemoryArbiter::MemoryArbiter(Config cfg, Clock clock)
+    : cfg_(cfg), clock_(clock ? std::move(clock) : Clock(&SteadyNowNs)) {
+  if (cfg_.block_size == 0) cfg_.block_size = 4096;
+  if (cfg_.step_blocks == 0) cfg_.step_blocks = 1;
+  if (cfg_.window_accesses == 0) cfg_.window_accesses = 1;
+  if (cfg_.min_pool_frames == 0) cfg_.min_pool_frames = 1;
+  total_blocks_ = std::max<size_t>(cfg_.budget_bytes / cfg_.block_size, 8);
+}
+
+MemoryArbiter::MemoryArbiter(const Options& opts, Clock clock)
+    : MemoryArbiter(ConfigFromOptions(opts), std::move(clock)) {}
+
+MemoryArbiter::Config MemoryArbiter::ConfigFromOptions(const Options& opts) {
+  Config cfg;
+  cfg.budget_bytes = opts.memory_budget;
+  cfg.block_size = opts.block_size != 0 ? opts.block_size : 4096;
+  cfg.pool_share = opts.arbiter_pool_share;
+  if (cfg.pool_share < 0.0) cfg.pool_share = 0.0;
+  if (cfg.pool_share > 1.0) cfg.pool_share = 1.0;
+  cfg.window_accesses = opts.arbiter_window_accesses != 0
+                            ? opts.arbiter_window_accesses
+                            : Config{}.window_accesses;
+  size_t blocks = std::max<size_t>(cfg.budget_bytes / cfg.block_size, 8);
+  // One step moves 1/32 of M (at least one block): big enough that the
+  // split converges within a few windows, small enough not to thrash.
+  cfg.step_blocks = std::max<size_t>(blocks / 32, 1);
+  return cfg;
+}
+
+size_t MemoryArbiter::GrantFromFree(size_t want) {
+  size_t free =
+      total_blocks_ > charged_blocks_ ? total_blocks_ - charged_blocks_ : 0;
+  size_t grant = std::min(want, free);
+  charged_blocks_ += grant;
+  return grant;
+}
+
+void MemoryArbiter::ReleaseLease(size_t* charged) {
+  charged_blocks_ -= *charged;
+  *charged = 0;
+}
+
+std::unique_ptr<PoolLease> MemoryArbiter::LeasePool(size_t frames) {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t grant = GrantFromFree(frames);
+  auto lease = std::unique_ptr<PoolLease>(new PoolLease(this, grant));
+  pools_.push_back(lease.get());
+  return lease;
+}
+
+std::unique_ptr<StagingLease> MemoryArbiter::LeaseStaging(size_t blocks) {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t grant = GrantFromFree(blocks);
+  auto lease = std::unique_ptr<StagingLease>(new StagingLease(this, grant));
+  stagings_.push_back(lease.get());
+  return lease;
+}
+
+bool MemoryArbiter::TryRevokeStaging() {
+  // Victim: the lease with waste evidence — staged-unused history, or
+  // an idle budget (streams hold less than half the target: scans are
+  // not using what they own) — preferring the largest target.
+  StagingLease* victim = nullptr;
+  for (StagingLease* s : stagings_) {
+    size_t target = s->target_.load(std::memory_order_relaxed);
+    if (target <= cfg_.min_staging_blocks) continue;
+    bool wasteful = s->waste_ewma_ >= cfg_.staging_waste_reclaim;
+    bool idle = s->last_staged_ * 2 <= target;
+    if (!wasteful && !idle) continue;
+    if (victim == nullptr ||
+        target > victim->target_.load(std::memory_order_relaxed)) {
+      victim = s;
+    }
+  }
+  if (victim == nullptr) return false;
+  uint64_t now = now_ns();
+  if (cfg_.min_revoke_gap_ns != 0 &&
+      now - last_staging_revoke_ns_ < cfg_.min_revoke_gap_ns) {
+    return false;
+  }
+  last_staging_revoke_ns_ = now;
+  size_t target = victim->target_.load(std::memory_order_relaxed);
+  size_t next = target - std::min(cfg_.step_blocks,
+                                  target - cfg_.min_staging_blocks);
+  victim->target_.store(next, std::memory_order_relaxed);
+  // The charge follows the staging actually held: an idle lease frees
+  // blocks immediately, a busy one keeps them charged until the governor
+  // sheds and reports.
+  size_t still =
+      std::min(std::max(next, victim->last_staged_), victim->charged_);
+  if (still < victim->charged_) {
+    charged_blocks_ -= victim->charged_ - still;
+    victim->charged_ = still;
+  }
+  staging_sheds_++;
+  return true;
+}
+
+bool MemoryArbiter::TryRevokePool() {
+  // Victim: the coldest lease above its floor, preferring more cold
+  // evidence (a short-lived scratch pool does not shadow the main one).
+  PoolLease* victim = nullptr;
+  for (PoolLease* p : pools_) {
+    size_t target = p->target_.load(std::memory_order_relaxed);
+    size_t floor = std::max(cfg_.min_pool_frames, p->last_pinned_);
+    if (target <= floor) continue;
+    if (p->cold_ewma_ < cfg_.pool_cold_fraction) continue;
+    if (victim == nullptr || p->cold_ewma_ > victim->cold_ewma_) victim = p;
+  }
+  if (victim == nullptr) return false;
+  uint64_t now = now_ns();
+  if (cfg_.min_revoke_gap_ns != 0 &&
+      now - last_pool_revoke_ns_ < cfg_.min_revoke_gap_ns) {
+    return false;
+  }
+  last_pool_revoke_ns_ = now;
+  size_t target = victim->target_.load(std::memory_order_relaxed);
+  size_t floor = std::max(cfg_.min_pool_frames, victim->last_pinned_);
+  size_t next = target - std::min(cfg_.step_blocks, target - floor);
+  victim->target_.store(next, std::memory_order_relaxed);
+  // Keep the frames charged until the pool confirms the shed; frames are
+  // physical until then.
+  pool_sheds_++;
+  return true;
+}
+
+size_t MemoryArbiter::DoPoolReport(PoolLease* lease, size_t hits,
+                                   size_t misses, size_t cold, size_t pinned,
+                                   size_t actual) {
+  size_t accesses = hits + misses;
+  double miss_rate = accesses > 0 ? double(misses) / double(accesses) : 0.0;
+  double cold_frac = actual > 0 ? double(cold) / double(actual) : 0.0;
+  lease->miss_ewma_ = Fold(lease->have_history_, lease->miss_ewma_, miss_rate);
+  lease->cold_ewma_ = Fold(lease->have_history_, lease->cold_ewma_, cold_frac);
+  lease->have_history_ = true;
+  lease->last_pinned_ = pinned;
+  // Reconcile the charge with what the pool physically holds (it may
+  // still be above a lowered target). Charges only ever RISE through
+  // grants from free headroom — reconciliation can release, never
+  // overcommit, so sum(charged) <= M is unconditional.
+  size_t target = lease->target_.load(std::memory_order_relaxed);
+  size_t owed = std::min(std::max(target, actual), lease->charged_);
+  if (owed < lease->charged_) {
+    charged_blocks_ -= lease->charged_ - owed;
+    lease->charged_ = owed;
+  }
+  if (lease->miss_ewma_ >= cfg_.pool_grow_miss_rate) {
+    // Miss evidence: the working set does not fit. Raise the target one
+    // step — new charge is drawn from free headroom only for the part
+    // not already covered (a revoked-but-unshed lease keeps its frames
+    // charged, so un-revoking them is free). Keeps the global charge
+    // equal to the sum of lease charges. When nothing can be granted,
+    // put the squeeze on wasteful staging and grow once it drains.
+    size_t new_target = target + cfg_.step_blocks;
+    size_t need =
+        new_target > lease->charged_ ? new_target - lease->charged_ : 0;
+    size_t charge = GrantFromFree(need);
+    size_t granted =
+        std::min(cfg_.step_blocks, lease->charged_ + charge - target);
+    if (granted > 0) {
+      lease->target_.store(target + granted, std::memory_order_relaxed);
+      lease->charged_ = std::max(lease->charged_, target + granted);
+      pool_grows_++;
+      pool_pressure_ = false;
+    } else {
+      // One reclaim step per denied grow: when the immediate revocation
+      // lands, relief is already on its way and the pressure flag stays
+      // clear; only a failed attempt arms the other side's callback.
+      denied_grows_++;
+      pool_pressure_ = !TryRevokeStaging();
+    }
+  } else if (staging_pressure_) {
+    // Scans are starved and this pool is not missing: shed cold frames.
+    if (TryRevokePool()) staging_pressure_ = false;
+  }
+  return lease->target_.load(std::memory_order_relaxed);
+}
+
+void MemoryArbiter::DoPoolConfirm(PoolLease* lease, size_t actual) {
+  size_t target = lease->target_.load(std::memory_order_relaxed);
+  size_t owed = std::min(std::max(target, actual), lease->charged_);
+  if (owed < lease->charged_) {
+    charged_blocks_ -= lease->charged_ - owed;
+    lease->charged_ = owed;
+  }
+}
+
+size_t MemoryArbiter::DoStagingGrow(StagingLease* lease, size_t want) {
+  // See DoPoolReport: new charge only for the part of the raise not
+  // already covered by a revoked-but-still-charged lease.
+  size_t target = lease->target_.load(std::memory_order_relaxed);
+  size_t new_target = target + want;
+  size_t need =
+      new_target > lease->charged_ ? new_target - lease->charged_ : 0;
+  size_t charge = GrantFromFree(need);
+  size_t grant = std::min(want, lease->charged_ + charge - target);
+  if (grant > 0) {
+    lease->target_.store(target + grant, std::memory_order_relaxed);
+    lease->charged_ = std::max(lease->charged_, target + grant);
+    staging_grows_++;
+    staging_pressure_ = false;
+  }
+  if (grant < want) {
+    // Stall evidence with no headroom: one pool-reclaim step now; only
+    // a failed attempt arms the pool-side callback (see DoPoolReport).
+    // The governor re-requests on its next stalled period.
+    denied_grows_++;
+    staging_pressure_ = !TryRevokePool();
+  }
+  return grant;
+}
+
+void MemoryArbiter::DoStagingUsage(StagingLease* lease, size_t staged,
+                                   double waste, double stall) {
+  lease->last_staged_ = staged;
+  lease->waste_ewma_ = waste;
+  lease->stall_ewma_ = stall;
+  size_t target = lease->target_.load(std::memory_order_relaxed);
+  size_t owed = std::min(std::max(target, staged), lease->charged_);
+  if (owed < lease->charged_) {
+    charged_blocks_ -= lease->charged_ - owed;
+    lease->charged_ = owed;
+  }
+  if (pool_pressure_) {
+    // The pool is starved; reclaim staging that shows waste or idles.
+    if (TryRevokeStaging()) pool_pressure_ = false;
+  }
+}
+
+// ---------------------------------------------------------------- leases
+
+PoolLease::~PoolLease() {
+  std::lock_guard<std::mutex> lock(arb_->mu_);
+  arb_->ReleaseLease(&charged_);
+  auto& v = arb_->pools_;
+  v.erase(std::remove(v.begin(), v.end(), this), v.end());
+}
+
+size_t PoolLease::ReportWindow(size_t hits, size_t misses, size_t cold_frames,
+                               size_t pinned_frames, size_t actual_frames) {
+  std::lock_guard<std::mutex> lock(arb_->mu_);
+  return arb_->DoPoolReport(this, hits, misses, cold_frames, pinned_frames,
+                            actual_frames);
+}
+
+void PoolLease::ConfirmFrames(size_t actual_frames) {
+  std::lock_guard<std::mutex> lock(arb_->mu_);
+  arb_->DoPoolConfirm(this, actual_frames);
+}
+
+StagingLease::~StagingLease() {
+  std::lock_guard<std::mutex> lock(arb_->mu_);
+  arb_->ReleaseLease(&charged_);
+  auto& v = arb_->stagings_;
+  v.erase(std::remove(v.begin(), v.end(), this), v.end());
+}
+
+size_t StagingLease::RequestGrow(size_t want_blocks) {
+  std::lock_guard<std::mutex> lock(arb_->mu_);
+  return arb_->DoStagingGrow(this, want_blocks);
+}
+
+void StagingLease::ReportUsage(size_t staged_blocks, double waste_ewma,
+                               double stall_ewma) {
+  std::lock_guard<std::mutex> lock(arb_->mu_);
+  arb_->DoStagingUsage(this, staged_blocks, waste_ewma, stall_ewma);
+}
+
+// --------------------------------------------------------- introspection
+
+size_t MemoryArbiter::charged_blocks() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return charged_blocks_;
+}
+size_t MemoryArbiter::free_blocks() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_blocks_ > charged_blocks_ ? total_blocks_ - charged_blocks_
+                                         : 0;
+}
+size_t MemoryArbiter::pool_grows() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return pool_grows_;
+}
+size_t MemoryArbiter::pool_sheds() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return pool_sheds_;
+}
+size_t MemoryArbiter::staging_grows() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return staging_grows_;
+}
+size_t MemoryArbiter::staging_sheds() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return staging_sheds_;
+}
+size_t MemoryArbiter::denied_grows() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return denied_grows_;
+}
+
+// ----------------------------------------------------- ArbitratedMemory
+
+namespace {
+PrefetchGovernor::Config GovernorConfigForArbiter(const Options& opts,
+                                                  double pool_share) {
+  PrefetchGovernor::Config cfg = PrefetchGovernor::ConfigFromOptions(opts);
+  // The staging side starts with the non-pool share of M instead of the
+  // fixed M/2 (identical when pool_share is the default 0.5); from then
+  // on the budget tracks the arbiter's lease.
+  size_t bs = opts.block_size != 0 ? opts.block_size : 4096;
+  double share = 1.0 - pool_share;
+  if (share < 0.0) share = 0.0;
+  cfg.budget_blocks = std::max<size_t>(
+      static_cast<size_t>(double(opts.memory_budget) * share) / bs, 4);
+  return cfg;
+}
+}  // namespace
+
+ArbitratedMemory::ArbitratedMemory(BlockDevice* dev, const Options& opts,
+                                   MemoryArbiter::Clock clock)
+    : dev_(dev),
+      arbiter_(opts, clock),
+      governor_(GovernorConfigForArbiter(opts, arbiter_.config().pool_share),
+                clock),
+      pool_(dev,
+            std::max<size_t>(
+                static_cast<size_t>(double(opts.memory_budget) *
+                                    arbiter_.config().pool_share) /
+                    arbiter_.config().block_size,
+                arbiter_.config().min_pool_frames),
+            &arbiter_) {
+  governor_.AttachArbiter(&arbiter_);
+  dev_->set_prefetch_governor(&governor_);
+}
+
+ArbitratedMemory::~ArbitratedMemory() {
+  if (dev_->prefetch_governor() == &governor_) {
+    dev_->set_prefetch_governor(nullptr);
+  }
+}
+
+}  // namespace vem

@@ -1,0 +1,275 @@
+// MemoryArbiter: one budget for caching frames and prefetch staging.
+//
+// Vitter's PDM charges every layer against a single internal memory M,
+// but until now the repo split M in two fixed halves: BufferPool frames
+// for the random-access structures (B+-tree, hash table, matrix/FFT
+// tiles, graph offsets) and the PrefetchGovernor's staging budget for
+// scans. The survey treats caching and prefetching as ONE resource-
+// allocation problem — read-ahead depth and cache residency compete for
+// the same M — so the split should move with the workload: scans steal
+// frames from a cold pool, a probe-heavy index steals staging from idle
+// scans.
+//
+// The arbiter is a pure accountant plus a small evidence-driven policy:
+//  - both sides hold *revocable leases* in blocks of M. A PoolLease backs
+//    a resizable BufferPool (frames); a StagingLease backs a governor's
+//    staging budget. lease targets always satisfy
+//        sum(charged) <= M/block_size        (budget conservation)
+//  - the pool reports access windows (hits, misses, cold frames, pinned
+//    frames); a high miss rate is GROW evidence, a high cold fraction is
+//    WASTE (shed-candidate) evidence;
+//  - the governor reports staged usage and its waste/stall EWMAs; a
+//    stall-capped grow request is GROW evidence, staged-unused history or
+//    an idle (mostly unstaged) budget is WASTE evidence;
+//  - growth is granted from free headroom first; when there is none, the
+//    arbiter revokes from whichever side currently shows waste by
+//    lowering that side's target. Clients apply new targets at their own
+//    safe points (the pool at window boundaries, the governor at
+//    Arm/Adapt), so the arbiter never calls into a client and never
+//    performs I/O — arbitration moves memory, never I/O charging.
+//
+// Invariant: IoStats stay bit-identical with the arbiter on or off. Scan
+// staging already has this property (depth is a wall-clock knob; blocks
+// are charged at consumption). The pool gets it from ghost charging (see
+// buffer_pool.h): an arbitrated pool charges the PDM cost its *baseline*
+// capacity would have paid while transfers ride the uncounted plane.
+//
+// Threading: every lease method takes the arbiter mutex and never a
+// client lock; clients call in under their own locks (lock order: client
+// before arbiter, always). The injectable clock pins the revocation
+// rate-limit in deterministic tests, like prefetch_governor_test.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "io/buffer_pool.h"
+#include "io/prefetch_governor.h"
+#include "util/status.h"
+
+namespace vem {
+
+struct Options;
+class MemoryArbiter;
+
+/// One BufferPool's claim on M, in frames (= blocks). The pool reports
+/// access windows and follows the returned target; the arbiter keeps
+/// charging frames the pool could not shed (pinned/dirty floor) until a
+/// later window confirms the release.
+class PoolLease {
+ public:
+  ~PoolLease();
+  PoolLease(const PoolLease&) = delete;
+  PoolLease& operator=(const PoolLease&) = delete;
+
+  /// Current target frame count. Lock-free read; the pool re-reads it at
+  /// window boundaries.
+  size_t target_frames() const { return target_.load(std::memory_order_relaxed); }
+
+  /// Report one completed access window and learn the new target:
+  /// `hits`/`misses` over the window, `cold_frames` valid+unpinned+
+  /// unreferenced frames, `pinned_frames` the shed floor, `actual_frames`
+  /// what the pool physically holds right now. Returns the frame target
+  /// the pool should resize toward.
+  size_t ReportWindow(size_t hits, size_t misses, size_t cold_frames,
+                      size_t pinned_frames, size_t actual_frames);
+
+  /// Tell the arbiter what the pool actually holds after applying a
+  /// target (a shed can fall short of the target when frames are pinned
+  /// or dirty): the charge is released down to max(target, actual).
+  /// Charges only ever rise through grants from free headroom, so a
+  /// physical overshoot past the charge (the pool's emergency frames
+  /// for pins the baseline admits, or a manual Resize) is deliberately
+  /// NOT billed — it is transient, bounded by the pinned set, and shed
+  /// at the next window.
+  void ConfirmFrames(size_t actual_frames);
+
+ private:
+  friend class MemoryArbiter;
+  explicit PoolLease(MemoryArbiter* arb, size_t frames)
+      : arb_(arb), target_(frames), charged_(frames) {}
+
+  MemoryArbiter* arb_;
+  std::atomic<size_t> target_;
+  size_t charged_;  // frames counted against M (>= max(target, actual))
+  // Evidence EWMAs, folded per reported window (under the arbiter mutex).
+  double miss_ewma_ = 0.0;
+  double cold_ewma_ = 0.0;
+  bool have_history_ = false;
+  size_t last_pinned_ = 0;
+};
+
+/// One PrefetchGovernor's claim on M, in blocks. The governor adopts the
+/// target as its staging budget at Arm/Adapt boundaries, asks for more on
+/// stall evidence, and pushes its usage so idle or wasteful staging can
+/// be reclaimed for the pool.
+class StagingLease {
+ public:
+  ~StagingLease();
+  StagingLease(const StagingLease&) = delete;
+  StagingLease& operator=(const StagingLease&) = delete;
+
+  /// Current staging budget target in blocks. Lock-free read.
+  size_t target_blocks() const { return target_.load(std::memory_order_relaxed); }
+
+  /// Stall-capped growth: the governor wants `want_blocks` more staging.
+  /// Returns the extra blocks granted (possibly 0); the target already
+  /// includes them. A denied request arms pool-reclaim pressure.
+  size_t RequestGrow(size_t want_blocks);
+
+  /// Push usage after an adaptation decision or lease close:
+  /// `staged_blocks` currently held by streams, plus the governor's
+  /// global waste and stall EWMAs (the reclaim evidence).
+  void ReportUsage(size_t staged_blocks, double waste_ewma,
+                   double stall_ewma);
+
+ private:
+  friend class MemoryArbiter;
+  explicit StagingLease(MemoryArbiter* arb, size_t blocks)
+      : arb_(arb), target_(blocks), charged_(blocks) {}
+
+  MemoryArbiter* arb_;
+  std::atomic<size_t> target_;
+  size_t charged_;  // blocks counted against M (>= max(target, staged))
+  size_t last_staged_ = 0;
+  double waste_ewma_ = 0.0;
+  double stall_ewma_ = 0.0;
+};
+
+/// Global accountant for one machine's internal memory M.
+class MemoryArbiter {
+ public:
+  /// Policy knobs. Defaults are what ArbitratedMemory ships with; unit
+  /// tests pin them explicitly.
+  struct Config {
+    /// Total internal memory (PDM M), in bytes.
+    size_t budget_bytes = 1u << 20;
+    /// Bytes per block/frame.
+    size_t block_size = 4096;
+    /// Initial pool fraction of M handed out by ArbitratedMemory — the
+    /// historical fixed split, as the starting point the policy moves.
+    double pool_share = 0.5;
+    /// Pool frames never drop below this (nor below the pinned set).
+    size_t min_pool_frames = 4;
+    /// Staging never drops below this many blocks.
+    size_t min_staging_blocks = 8;
+    /// Blocks moved per decision (one grow or one revocation step).
+    size_t step_blocks = 8;
+    /// Pool accesses per reported window (the pool's decision cadence).
+    size_t window_accesses = 64;
+    /// Window miss rate at or above this is pool-grow evidence.
+    double pool_grow_miss_rate = 0.25;
+    /// Cold-frame fraction at or above this marks the pool a reclaim
+    /// victim while scans are starved.
+    double pool_cold_fraction = 0.5;
+    /// Governor waste EWMA at or above this marks staging a reclaim
+    /// victim while the pool is starved.
+    double staging_waste_reclaim = 0.5;
+    /// Minimum time between revocations of the SAME side (anti-thrash);
+    /// growth from free headroom is never rate-limited.
+    uint64_t min_revoke_gap_ns = 0;
+  };
+
+  /// Nanosecond monotonic clock; injectable for deterministic tests.
+  using Clock = std::function<uint64_t()>;
+
+  explicit MemoryArbiter(Config cfg, Clock clock = nullptr);
+  /// Policy derived from the machine configuration (M, block size).
+  explicit MemoryArbiter(const Options& opts, Clock clock = nullptr);
+  static Config ConfigFromOptions(const Options& opts);
+
+  MemoryArbiter(const MemoryArbiter&) = delete;
+  MemoryArbiter& operator=(const MemoryArbiter&) = delete;
+
+  /// Lease `frames` frames (clamped to free headroom) to a BufferPool.
+  /// The arbiter must outlive the lease. Never returns null.
+  std::unique_ptr<PoolLease> LeasePool(size_t frames);
+
+  /// Lease `blocks` of staging (clamped to free headroom) to a governor.
+  std::unique_ptr<StagingLease> LeaseStaging(size_t blocks);
+
+  // ------------------------------------------------------ introspection
+  const Config& config() const { return cfg_; }
+  size_t total_blocks() const { return total_blocks_; }
+  size_t charged_blocks() const;  ///< sum of all lease charges
+  size_t free_blocks() const;     ///< total - charged
+  size_t window_accesses() const { return cfg_.window_accesses; }
+  size_t pool_grows() const;      ///< pool targets raised
+  size_t pool_sheds() const;      ///< pool targets lowered (revocations)
+  size_t staging_grows() const;   ///< staging targets raised
+  size_t staging_sheds() const;   ///< staging targets lowered
+  size_t denied_grows() const;    ///< grow requests with no headroom
+
+  uint64_t now_ns() const { return clock_(); }
+
+ private:
+  friend class PoolLease;
+  friend class StagingLease;
+
+  // All under mu_.
+  size_t GrantFromFree(size_t want);
+  void ReleaseLease(size_t* charged);
+  size_t DoPoolReport(PoolLease* lease, size_t hits, size_t misses,
+                      size_t cold, size_t pinned, size_t actual);
+  void DoPoolConfirm(PoolLease* lease, size_t actual);
+  size_t DoStagingGrow(StagingLease* lease, size_t want);
+  void DoStagingUsage(StagingLease* lease, size_t staged, double waste,
+                      double stall);
+  /// Revoke up to step_blocks from the staging lease most recently seen
+  /// wasting (idle or staged-unused); true if a target was lowered.
+  bool TryRevokeStaging();
+  /// Revoke up to step_blocks of cold pool frames; true if lowered.
+  bool TryRevokePool();
+
+  Config cfg_;
+  Clock clock_;
+  mutable std::mutex mu_;
+  size_t total_blocks_;
+  size_t charged_blocks_ = 0;
+  // Live leases of each kind; revocation picks the victim showing the
+  // most waste. Short-lived leases (a transpose's tile pool) come and
+  // go without disturbing the long-lived ones' revocability.
+  std::vector<PoolLease*> pools_;
+  std::vector<StagingLease*> stagings_;
+  bool pool_pressure_ = false;     // pool grow denied by headroom
+  bool staging_pressure_ = false;  // staging grow denied by headroom
+  uint64_t last_pool_revoke_ns_ = 0;
+  uint64_t last_staging_revoke_ns_ = 0;
+  size_t pool_grows_ = 0;
+  size_t pool_sheds_ = 0;
+  size_t staging_grows_ = 0;
+  size_t staging_sheds_ = 0;
+  size_t denied_grows_ = 0;
+};
+
+/// Convenience bundle: one machine memory built from Options — arbiter,
+/// lease-backed BufferPool, and a governor whose staging budget is a
+/// revocable lease, attached to `dev`. Detaches the governor from the
+/// device on destruction. The IoEngine (if any) is still attached by the
+/// caller, as elsewhere.
+class ArbitratedMemory {
+ public:
+  ArbitratedMemory(BlockDevice* dev, const Options& opts,
+                   MemoryArbiter::Clock clock = nullptr);
+  ~ArbitratedMemory();
+  ArbitratedMemory(const ArbitratedMemory&) = delete;
+  ArbitratedMemory& operator=(const ArbitratedMemory&) = delete;
+
+  MemoryArbiter* arbiter() { return &arbiter_; }
+  BufferPool* pool() { return &pool_; }
+  PrefetchGovernor* governor() { return &governor_; }
+  BlockDevice* device() const { return dev_; }
+
+ private:
+  BlockDevice* dev_;
+  MemoryArbiter arbiter_;
+  PrefetchGovernor governor_;
+  BufferPool pool_;
+};
+
+}  // namespace vem

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 
+#include "io/memory_arbiter.h"
 #include "util/options.h"
 
 namespace vem {
@@ -28,6 +29,27 @@ PrefetchGovernor::PrefetchGovernor(Config cfg, Clock clock)
 PrefetchGovernor::PrefetchGovernor(const Options& opts, Clock clock)
     : PrefetchGovernor(ConfigFromOptions(opts), std::move(clock)) {}
 
+PrefetchGovernor::~PrefetchGovernor() = default;
+
+void PrefetchGovernor::AttachArbiter(MemoryArbiter* arb) {
+  std::lock_guard<std::mutex> lock(mu_);
+  staging_lease_ = arb->LeaseStaging(cfg_.budget_blocks);
+  cfg_.budget_blocks = staging_lease_->target_blocks();
+}
+
+size_t PrefetchGovernor::ReconcileBudget() {
+  if (staging_lease_ != nullptr) {
+    cfg_.budget_blocks = staging_lease_->target_blocks();
+  }
+  return cfg_.budget_blocks;
+}
+
+void PrefetchGovernor::PushUsage() {
+  if (staging_lease_ != nullptr) {
+    staging_lease_->ReportUsage(staged_blocks_, waste_ewma_, stall_ewma_);
+  }
+}
+
 PrefetchGovernor::Config PrefetchGovernor::ConfigFromOptions(
     const Options& opts) {
   Config cfg;
@@ -46,6 +68,7 @@ PrefetchGovernor::Config PrefetchGovernor::ConfigFromOptions(
 std::unique_ptr<PrefetchGovernor::Lease> PrefetchGovernor::Arm(
     size_t requested_depth) {
   std::lock_guard<std::mutex> lock(mu_);
+  ReconcileBudget();  // adopt a renegotiated staging lease, if any
   size_t grant = std::clamp(requested_depth, cfg_.min_depth, cfg_.max_depth);
   grant = std::min(grant, std::max(cfg_.initial_depth, cfg_.min_depth));
   if (requested_depth == 0) grant = 0;
@@ -89,6 +112,10 @@ std::unique_ptr<PrefetchGovernor::Lease> PrefetchGovernor::Arm(
   } else {
     arms_refused_++;
   }
+  // Keep the arbiter's view of held staging fresh at every arm, not
+  // just at adaptation boundaries: a never-yet-adapted stream's staging
+  // must not read as idle (reclaimable) to the other side.
+  PushUsage();
   auto lease = std::unique_ptr<Lease>(new Lease(this, grant));
   // Engine advisory at birth: when recent leases never stalled, fresh
   // arms (probes included) start with inline coalesced fills — no
@@ -135,6 +162,7 @@ void PrefetchGovernor::Lease::ReportWindow(size_t consumed, size_t unused) {
 }
 
 void PrefetchGovernor::Adapt(Lease* lease) {
+  ReconcileBudget();  // adopt a renegotiated staging lease, if any
   const size_t staged = lease->consumed_blocks_ + lease->unused_blocks_;
   const size_t depth = lease->depth_;
   if (depth > 0 && staged > 0 && lease->unused_blocks_ * 2 > staged) {
@@ -158,6 +186,15 @@ void PrefetchGovernor::Adapt(Lease* lease) {
     size_t headroom = cfg_.budget_blocks > staged_blocks_
                           ? cfg_.budget_blocks - staged_blocks_
                           : 0;
+    if (staging_lease_ != nullptr && depth + headroom / 2 < want) {
+      // Stall evidence the current budget cannot honor: renegotiate the
+      // lease before settling for the smaller grow. The arbiter grants
+      // from free M or arms cache-side reclaim for the next period.
+      size_t extra =
+          staging_lease_->RequestGrow(2 * want - 2 * depth - headroom);
+      cfg_.budget_blocks += extra;
+      headroom += extra;
+    }
     want = std::min(want, depth + headroom / 2);
     if (want > depth) {
       staged_blocks_ += 2 * (want - depth);
@@ -189,6 +226,7 @@ void PrefetchGovernor::Adapt(Lease* lease) {
     }
   }
   FoldHistory(lease->consumed_blocks_, lease->unused_blocks_);
+  PushUsage();
   lease->windows_ = 0;
   lease->stalled_windows_ = 0;
   lease->consumed_blocks_ = 0;
@@ -225,11 +263,16 @@ void PrefetchGovernor::Close(Lease* lease) {
       have_lease_history_ = true;
     }
   }
+  PushUsage();
   lease->depth_ = 0;
 }
 
 PrefetchGovernor::Lease::~Lease() { gov_->Close(this); }
 
+size_t PrefetchGovernor::budget_blocks() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return cfg_.budget_blocks;
+}
 size_t PrefetchGovernor::staged_blocks() const {
   std::lock_guard<std::mutex> lock(mu_);
   return staged_blocks_;

@@ -48,6 +48,8 @@
 namespace vem {
 
 struct Options;
+class MemoryArbiter;
+class StagingLease;
 
 /// Global staging-memory arbiter for prefetching streams on one device
 /// (or one family of devices sharing a block size).
@@ -109,6 +111,17 @@ class PrefetchGovernor {
 
   PrefetchGovernor(const PrefetchGovernor&) = delete;
   PrefetchGovernor& operator=(const PrefetchGovernor&) = delete;
+  ~PrefetchGovernor();
+
+  /// Lease renegotiation: turn the fixed staging budget into a revocable
+  /// lease on `arb`'s shared M. From here on the governor adopts the
+  /// arbiter's target at every Arm/Adapt boundary (a lowered target
+  /// triggers the usual pressure shedding), asks the arbiter for more
+  /// budget when stall evidence wants growth the current budget cannot
+  /// fit, and pushes its staged/waste/stall shape so idle or wasteful
+  /// staging can be reclaimed for the cache side. The arbiter must
+  /// outlive this governor.
+  void AttachArbiter(MemoryArbiter* arb);
 
   /// One stream's claim on staging memory. Destroying the lease releases
   /// its budget and folds its waste history into the governor. The
@@ -171,7 +184,8 @@ class PrefetchGovernor {
   std::unique_ptr<Lease> Arm(size_t requested_depth);
 
   // ------------------------------------------------------ introspection
-  size_t budget_blocks() const { return cfg_.budget_blocks; }
+  size_t budget_blocks() const;    ///< current staging budget (may track
+                                   ///< an arbiter lease)
   size_t staged_blocks() const;    ///< blocks currently leased
   size_t arms_granted() const;     ///< leases granted depth > 0
   size_t arms_refused() const;     ///< leases granted 0
@@ -185,6 +199,12 @@ class PrefetchGovernor {
   uint64_t now_ns() const { return clock_(); }
 
  private:
+  /// Adopt the arbiter's current staging target (no-op detached); under
+  /// mu_. Returns the budget in force.
+  size_t ReconcileBudget();
+  /// Push staged/waste/stall shape to the arbiter (no-op detached);
+  /// under mu_.
+  void PushUsage();
   /// Adaptation decision for one lease's completed period; called with
   /// the period counters, under mu_.
   void Adapt(Lease* lease);
@@ -196,6 +216,7 @@ class PrefetchGovernor {
   Config cfg_;
   Clock clock_;
   mutable std::mutex mu_;
+  std::unique_ptr<StagingLease> staging_lease_;  // null = fixed budget
   size_t staged_blocks_ = 0;
   size_t arms_granted_ = 0;
   size_t arms_refused_ = 0;

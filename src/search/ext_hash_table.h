@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "io/buffer_pool.h"
+#include "io/memory_arbiter.h"
 #include "util/status.h"
 
 namespace vem {
@@ -32,6 +33,11 @@ class ExtHashTable {
       : pool_(pool), block_size_(pool->device()->block_size()) {
     bucket_cap_ = (block_size_ - kHeaderBytes) / (sizeof(K) + sizeof(V));
   }
+
+  /// Cache buckets in an arbitrated machine memory (lease-backed pool on
+  /// the shared M; see io/memory_arbiter.h).
+  explicit ExtHashTable(ArbitratedMemory* mem)
+      : ExtHashTable(mem->pool()) {}
 
   /// Create the initial single-bucket table. Call exactly once.
   Status Init() {

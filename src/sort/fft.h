@@ -23,6 +23,8 @@
 
 #include "core/ext_vector.h"
 #include "io/buffer_pool.h"
+#include "io/memory_arbiter.h"
+#include "util/options.h"
 #include "util/status.h"
 
 namespace vem {
@@ -75,12 +77,17 @@ inline void FftInMemory(std::vector<Complex>* a, bool inverse) {
 }
 
 /// Tiled out-of-core transpose of a rows×cols row-major ExtVector<T>.
-/// `out` must be empty and share the input's device; uses its own pool.
+/// `out` must be empty and share the input's device; uses its own pool —
+/// lease-backed on the shared M when an arbiter is passed, so the
+/// transpose's dirtied-tile pages can grow into idle staging memory.
 template <typename T>
 Status TransposeTiledT(const ExtVector<T>& in, size_t rows, size_t cols,
-                       ExtVector<T>* out, size_t memory_budget_bytes) {
+                       ExtVector<T>* out, size_t memory_budget_bytes,
+                       MemoryArbiter* arbiter = nullptr) {
   BlockDevice* dev = out->device();
-  BufferPool pool(dev, std::max<size_t>(memory_budget_bytes / dev->block_size(), 4));
+  BufferPool pool(dev,
+                  std::max<size_t>(memory_budget_bytes / dev->block_size(), 4),
+                  arbiter);
   ExtVector<T> result(dev, &pool);
   {
     typename ExtVector<T>::Writer w(&result);
@@ -129,6 +136,13 @@ class ExternalFft {
   ExternalFft(BlockDevice* dev, size_t memory_budget_bytes)
       : dev_(dev), memory_budget_(memory_budget_bytes) {}
 
+  /// Machine-configuration form: M from Options; with an arbiter the
+  /// transpose passes lease their tile pools from the shared M instead
+  /// of claiming a private fixed budget.
+  ExternalFft(BlockDevice* dev, const Options& opts,
+              MemoryArbiter* arbiter = nullptr)
+      : dev_(dev), memory_budget_(opts.memory_budget), arbiter_(arbiter) {}
+
   /// Forward DFT: out[k] = sum_n in[n] e^{-2 pi i nk / N}. N must be a
   /// power of two with sqrt(N) <= M/sizeof(Complex) (single-level regime).
   Status Forward(const ExtVector<Complex>& in, ExtVector<Complex>* out) {
@@ -170,7 +184,8 @@ class ExternalFft {
     // Input x[n2_idx * N1 + n1_idx] as an N2 x N1 row-major matrix.
     // Step 1: transpose -> N1 x N2 (rows indexed by n1).
     ExtVector<Complex> t1(dev_);
-    VEM_RETURN_IF_ERROR(TransposeTiledT(in, n2, n1, &t1, memory_budget_));
+    VEM_RETURN_IF_ERROR(
+        TransposeTiledT(in, n2, n1, &t1, memory_budget_, arbiter_));
     // Steps 2+3: N2-point FFT per row, then twiddle by w_N^{n1*k2}.
     ExtVector<Complex> s2(dev_);
     VEM_RETURN_IF_ERROR(RowFftPass(t1, n1, n2, inverse,
@@ -178,7 +193,8 @@ class ExternalFft {
     t1.Destroy();
     // Step 4: transpose -> N2 x N1 (rows indexed by k2).
     ExtVector<Complex> t2(dev_);
-    VEM_RETURN_IF_ERROR(TransposeTiledT(s2, n1, n2, &t2, memory_budget_));
+    VEM_RETURN_IF_ERROR(
+        TransposeTiledT(s2, n1, n2, &t2, memory_budget_, arbiter_));
     s2.Destroy();
     // Step 5: N1-point FFT per row.
     ExtVector<Complex> s3(dev_);
@@ -187,7 +203,8 @@ class ExternalFft {
     t2.Destroy();
     // Step 6: transpose -> N1 x N2 so index = k1*N2 + k2.
     ExtVector<Complex> t3(dev_);
-    VEM_RETURN_IF_ERROR(TransposeTiledT(s3, n2, n1, &t3, memory_budget_));
+    VEM_RETURN_IF_ERROR(
+        TransposeTiledT(s3, n2, n1, &t3, memory_budget_, arbiter_));
     s3.Destroy();
     if (!inverse) {
       *out = std::move(t3);
@@ -243,6 +260,7 @@ class ExternalFft {
 
   BlockDevice* dev_;
   size_t memory_budget_;
+  MemoryArbiter* arbiter_ = nullptr;
 };
 
 /// Baseline for bench_fft: textbook in-place iterative FFT over a pooled

@@ -19,6 +19,8 @@
 #include "core/ext_vector.h"
 #include "io/block_device.h"
 #include "io/buffer_pool.h"
+#include "io/memory_arbiter.h"
+#include "util/options.h"
 #include "util/status.h"
 
 namespace vem {
@@ -29,6 +31,11 @@ class ExtMatrix {
   ExtMatrix(BlockDevice* dev, size_t rows, size_t cols,
             BufferPool* pool = nullptr)
       : rows_(rows), cols_(cols), data_(dev, pool) {}
+
+  /// Tiles paged through an arbitrated machine memory (lease-backed
+  /// pool on the shared M; see io/memory_arbiter.h).
+  ExtMatrix(ArbitratedMemory* mem, size_t rows, size_t cols)
+      : ExtMatrix(mem->device(), rows, cols, mem->pool()) {}
 
   size_t rows() const { return rows_; }
   size_t cols() const { return cols_; }
@@ -99,6 +106,12 @@ inline Status TransposeTiled(const ExtMatrix& in, ExtMatrix* out,
     }
   }
   return out->data().pool()->FlushAll();
+}
+
+/// Machine-configuration overload: tile size from Options::memory_budget.
+inline Status TransposeTiled(const ExtMatrix& in, ExtMatrix* out,
+                             const Options& opts) {
+  return TransposeTiled(in, out, opts.memory_budget);
 }
 
 /// Naive transpose baseline: emit output row-major; each output row is an
@@ -182,6 +195,12 @@ inline Status MultiplyTiled(const ExtMatrix& a, const ExtMatrix& b,
     }
   }
   return c->data().pool()->FlushAll();
+}
+
+/// Machine-configuration overload: tile size from Options::memory_budget.
+inline Status MultiplyTiled(const ExtMatrix& a, const ExtMatrix& b,
+                            ExtMatrix* c, const Options& opts) {
+  return MultiplyTiled(a, b, c, opts.memory_budget);
 }
 
 }  // namespace vem

@@ -56,6 +56,25 @@ struct Options {
   /// affects IoStats either way.
   bool direct_io = false;
 
+  /// Knobs for the MemoryArbiter (io/memory_arbiter.h): construct an
+  /// ArbitratedMemory from these Options to run caching frames and
+  /// prefetch staging against ONE memory budget — the BufferPool's
+  /// frames and the PrefetchGovernor's staging budget become revocable
+  /// leases on M that grow on miss/stall evidence and are reclaimed
+  /// from whichever side shows waste. Without an ArbitratedMemory the
+  /// historical fixed split stands: pool frames as constructed, staging
+  /// at M/2. Never affects IoStats either way — arbitration moves
+  /// memory, not charges.
+  ///
+  /// Initial pool fraction of M handed to the BufferPool by the arbiter
+  /// (the rest seeds the staging side). 0.5 reproduces the fixed split
+  /// as the starting point the policy then moves.
+  double arbiter_pool_share = 0.5;
+
+  /// Pool accesses per arbiter report window (decision cadence). 0 uses
+  /// the arbiter's default.
+  size_t arbiter_window_accesses = 0;
+
   /// fdatasync FileBlockDevice scratch files before closing them, so
   /// timed writes are durably on the medium rather than absorbed by the
   /// drive's volatile write cache (O_DIRECT bypasses the OS page cache

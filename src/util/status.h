@@ -22,6 +22,7 @@ class Status {
     kCorruption = 4,
     kOutOfMemory = 5,
     kNotSupported = 6,
+    kBusy = 7,
   };
 
   Status() : code_(Code::kOk) {}
@@ -52,6 +53,11 @@ class Status {
   static Status NotSupported(std::string msg) {
     return Status(Code::kNotSupported, std::move(msg));
   }
+  /// Every resource is transiently held (all buffer pool frames pinned);
+  /// retry after releasing something — nothing is structurally wrong.
+  static Status Busy(std::string msg) {
+    return Status(Code::kBusy, std::move(msg));
+  }
 
   bool ok() const { return code_ == Code::kOk; }
   bool IsIOError() const { return code_ == Code::kIOError; }
@@ -60,6 +66,7 @@ class Status {
   bool IsCorruption() const { return code_ == Code::kCorruption; }
   bool IsOutOfMemory() const { return code_ == Code::kOutOfMemory; }
   bool IsNotSupported() const { return code_ == Code::kNotSupported; }
+  bool IsBusy() const { return code_ == Code::kBusy; }
 
   Code code() const { return code_; }
   const std::string& message() const { return message_; }
@@ -76,6 +83,7 @@ class Status {
       case Code::kCorruption: name = "Corruption"; break;
       case Code::kOutOfMemory: name = "OutOfMemory"; break;
       case Code::kNotSupported: name = "NotSupported"; break;
+      case Code::kBusy: name = "Busy"; break;
     }
     return std::string(name) + ": " + message_;
   }

@@ -493,7 +493,7 @@ TEST(PageRef, SelfMoveKeepsPin) {
   EXPECT_TRUE(ref.valid());
   uint64_t id2;
   // The only frame is still pinned by ref.
-  EXPECT_TRUE(pool.PinNew(&id2, &d).IsOutOfMemory());
+  EXPECT_TRUE(pool.PinNew(&id2, &d).IsBusy());
   ref.Release();
   EXPECT_TRUE(pool.PinNew(&id2, &d).ok());
   pool.Unpin(id2, false);

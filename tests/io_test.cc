@@ -154,14 +154,14 @@ TEST(BufferPool, EvictionWritesBackDirty) {
   }
 }
 
-TEST(BufferPool, AllPinnedReturnsOutOfMemory) {
+TEST(BufferPool, AllPinnedReturnsBusy) {
   MemoryBlockDevice dev(64);
   BufferPool pool(&dev, 2);
   uint64_t id1, id2, id3;
   char* d;
   ASSERT_TRUE(pool.PinNew(&id1, &d).ok());
   ASSERT_TRUE(pool.PinNew(&id2, &d).ok());
-  EXPECT_TRUE(pool.PinNew(&id3, &d).IsOutOfMemory());
+  EXPECT_TRUE(pool.PinNew(&id3, &d).IsBusy());
   pool.Unpin(id1, false);
   EXPECT_TRUE(pool.PinNew(&id3, &d).ok());
 }
@@ -176,7 +176,7 @@ TEST(BufferPool, PinCountsNested) {
   pool.Unpin(id, false);
   // Still pinned once; the only frame is unavailable.
   uint64_t id2;
-  EXPECT_TRUE(pool.PinNew(&id2, &d).IsOutOfMemory());
+  EXPECT_TRUE(pool.PinNew(&id2, &d).IsBusy());
   pool.Unpin(id, false);
   EXPECT_TRUE(pool.PinNew(&id2, &d).ok());
 }

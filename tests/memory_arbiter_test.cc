@@ -1,0 +1,359 @@
+// MemoryArbiter unit tests: the lease policy pinned under a fake clock —
+// grow and shed in both directions, pinned-floor respect, budget
+// conservation (pool + staging charges never exceed M) — plus the
+// system-level contract: IoStats stay bit-identical with the arbiter
+// enabled, on a scan layer (governed streams) and on a pool-backed
+// structure (B+-tree through the lease-backed, ghost-charged pool).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <vector>
+
+#include "core/ext_vector.h"
+#include "io/memory_arbiter.h"
+#include "io/memory_block_device.h"
+#include "search/bplus_tree.h"
+#include "util/options.h"
+#include "util/random.h"
+
+namespace vem {
+namespace {
+
+/// Deterministic clock: tests advance it by hand.
+struct FakeClock {
+  std::atomic<uint64_t> now_ns{0};
+  MemoryArbiter::Clock fn() {
+    return [this] { return now_ns.load(); };
+  }
+};
+
+MemoryArbiter::Config TestConfig() {
+  MemoryArbiter::Config cfg;
+  cfg.budget_bytes = 64 * 4096;  // 64 blocks
+  cfg.block_size = 4096;
+  cfg.min_pool_frames = 4;
+  cfg.min_staging_blocks = 4;
+  cfg.step_blocks = 8;
+  cfg.window_accesses = 4;
+  return cfg;
+}
+
+TEST(MemoryArbiter, LeasesAreClampedToOneBudget) {
+  FakeClock clk;
+  MemoryArbiter arb(TestConfig(), clk.fn());
+  EXPECT_EQ(arb.total_blocks(), 64u);
+  auto pool = arb.LeasePool(40);
+  EXPECT_EQ(pool->target_frames(), 40u);
+  // Only 24 blocks remain for staging: the grant is clamped, never over.
+  auto staging = arb.LeaseStaging(40);
+  EXPECT_EQ(staging->target_blocks(), 24u);
+  EXPECT_EQ(arb.charged_blocks(), 64u);
+  EXPECT_EQ(arb.free_blocks(), 0u);
+  // Dropping a lease returns its charge.
+  pool.reset();
+  EXPECT_EQ(arb.charged_blocks(), 24u);
+}
+
+TEST(MemoryArbiter, PoolGrowsOnMissEvidenceFromFreeHeadroom) {
+  FakeClock clk;
+  MemoryArbiter arb(TestConfig(), clk.fn());
+  auto pool = arb.LeasePool(16);  // 48 blocks free
+  // A miss-heavy window: the working set does not fit, grow one step.
+  size_t target = pool->ReportWindow(/*hits=*/0, /*misses=*/8, /*cold=*/0,
+                                     /*pinned=*/0, /*actual=*/16);
+  EXPECT_EQ(target, 24u);
+  EXPECT_EQ(arb.pool_grows(), 1u);
+  EXPECT_EQ(arb.charged_blocks(), 24u);
+  // Hit-only windows decay the miss EWMA below the grow floor: growth
+  // stops (the EWMA needs a few windows to wash out).
+  size_t actual = target;
+  for (int i = 0; i < 4; ++i) {
+    actual = pool->ReportWindow(8, 0, 0, 0, actual);
+  }
+  size_t settled = actual;
+  for (int i = 0; i < 4; ++i) {
+    actual = pool->ReportWindow(8, 0, 0, 0, actual);
+  }
+  EXPECT_EQ(actual, settled);
+  EXPECT_LE(arb.charged_blocks(), arb.total_blocks());
+}
+
+TEST(MemoryArbiter, StarvedPoolReclaimsWastefulStaging) {
+  FakeClock clk;
+  MemoryArbiter arb(TestConfig(), clk.fn());
+  auto pool = arb.LeasePool(16);
+  auto staging = arb.LeaseStaging(48);  // M fully charged
+  EXPECT_EQ(arb.free_blocks(), 0u);
+  // Staging admits to throwing most of its windows away.
+  staging->ReportUsage(/*staged=*/48, /*waste=*/0.8, /*stall=*/0.0);
+  // Pool wants growth, no headroom: denied, and the wasteful staging
+  // target is squeezed one step.
+  size_t target = pool->ReportWindow(0, 8, 0, 0, 16);
+  EXPECT_EQ(target, 16u);  // nothing free yet
+  EXPECT_EQ(arb.denied_grows(), 1u);
+  EXPECT_EQ(arb.staging_sheds(), 1u);
+  EXPECT_EQ(staging->target_blocks(), 40u);
+  // The governor sheds and reports: the charge follows the staging
+  // actually held (one step per denied grow — the landed revocation
+  // cleared the pressure, so no second step fires here).
+  staging->ReportUsage(36, 0.8, 0.0);
+  EXPECT_EQ(staging->target_blocks(), 40u);
+  EXPECT_LE(arb.charged_blocks(), 64u);
+  // With headroom freed, the pool's next miss-heavy window grows.
+  target = pool->ReportWindow(0, 8, 0, 0, 16);
+  EXPECT_EQ(target, 24u);
+  EXPECT_EQ(arb.pool_grows(), 1u);
+  EXPECT_LE(arb.charged_blocks(), 64u);
+}
+
+TEST(MemoryArbiter, StarvedStagingReclaimsColdPoolFrames) {
+  FakeClock clk;
+  MemoryArbiter arb(TestConfig(), clk.fn());
+  auto pool = arb.LeasePool(56);
+  auto staging = arb.LeaseStaging(8);  // M fully charged
+  // The pool reports it is mostly cold (valid unreferenced frames).
+  pool->ReportWindow(/*hits=*/8, /*misses=*/0, /*cold=*/40, /*pinned=*/0,
+                     /*actual=*/56);
+  // Staging stalls and wants more: denied now, but the cold pool is
+  // marked down one step.
+  EXPECT_EQ(staging->RequestGrow(16), 0u);
+  EXPECT_EQ(arb.pool_sheds(), 1u);
+  EXPECT_EQ(pool->target_frames(), 48u);
+  // The pool applies the lowered target at its next window and
+  // confirms, freeing one step of headroom (the landed revocation
+  // cleared the pressure — one step per denied grow).
+  size_t target = pool->ReportWindow(8, 0, 40, 0, 56);
+  EXPECT_EQ(target, 48u);
+  pool->ConfirmFrames(48);
+  EXPECT_LE(arb.charged_blocks(), 64u);
+  // The stalled scans get that step immediately; the unmet remainder
+  // of the request revokes the next step for the following period.
+  EXPECT_EQ(staging->RequestGrow(16), 8u);
+  EXPECT_EQ(staging->target_blocks(), 16u);
+  EXPECT_EQ(pool->target_frames(), 40u);
+  EXPECT_LE(arb.charged_blocks(), 64u);
+}
+
+TEST(MemoryArbiter, PinnedFloorIsNeverCrossed) {
+  FakeClock clk;
+  MemoryArbiter arb(TestConfig(), clk.fn());
+  auto pool = arb.LeasePool(16);
+  auto staging = arb.LeaseStaging(48);
+  // The pool is mostly cold, but 6 of its 16 frames are pinned: staging
+  // pressure may revoke down to the pinned set and not one frame past.
+  pool->ReportWindow(8, 0, /*cold=*/10, /*pinned=*/6, 16);
+  EXPECT_EQ(staging->RequestGrow(8), 0u);
+  EXPECT_EQ(pool->target_frames(), 8u);  // one 8-block step
+  EXPECT_EQ(staging->RequestGrow(8), 0u);
+  EXPECT_EQ(pool->target_frames(), 6u);  // clamped at the pins
+  EXPECT_EQ(staging->RequestGrow(8), 0u);
+  EXPECT_EQ(pool->target_frames(), 6u);  // floor holds
+}
+
+TEST(MemoryArbiter, RevocationsAreRateLimitedByTheClock) {
+  FakeClock clk;
+  auto cfg = TestConfig();
+  cfg.min_revoke_gap_ns = 1000;
+  MemoryArbiter arb(cfg, clk.fn());
+  clk.now_ns = 10000;  // move past the initial window
+  auto pool = arb.LeasePool(56);
+  auto staging = arb.LeaseStaging(8);
+  pool->ReportWindow(8, 0, 40, 0, 56);
+  EXPECT_EQ(staging->RequestGrow(8), 0u);
+  EXPECT_EQ(arb.pool_sheds(), 1u);
+  // Same instant: the second revocation is suppressed.
+  EXPECT_EQ(staging->RequestGrow(8), 0u);
+  EXPECT_EQ(arb.pool_sheds(), 1u);
+  // Past the gap it fires again.
+  clk.now_ns += 2000;
+  EXPECT_EQ(staging->RequestGrow(8), 0u);
+  EXPECT_EQ(arb.pool_sheds(), 2u);
+}
+
+TEST(MemoryArbiter, RevokeThenGrowDoesNotLeakBudget) {
+  FakeClock clk;
+  MemoryArbiter arb(TestConfig(), clk.fn());
+  auto pool = arb.LeasePool(16);
+  {
+    auto staging = arb.LeaseStaging(48);  // M fully charged
+    pool->ReportWindow(8, 0, /*cold=*/12, 0, 16);
+    EXPECT_EQ(staging->RequestGrow(4), 0u);  // denied; revokes the pool
+    EXPECT_EQ(pool->target_frames(), 8u);
+  }  // staging lease released: 48 blocks free again
+  // The pool never shed (still holds and is charged for 16 frames), so
+  // growing the target back is an un-revoke: no fresh charge may be
+  // drawn, and the global ledger must stay equal to the lease charges —
+  // the regression was charged_blocks_ absorbing a grant the lease
+  // charge never reflected, leaking budget on every revoke/grow cycle.
+  size_t target = pool->ReportWindow(0, /*misses=*/8, 0, 0, 16);
+  EXPECT_EQ(target, 16u);
+  EXPECT_EQ(arb.charged_blocks(), 16u);
+  pool.reset();
+  EXPECT_EQ(arb.charged_blocks(), 0u);
+  EXPECT_EQ(arb.free_blocks(), arb.total_blocks());
+}
+
+TEST(MemoryArbiter, BudgetConservationHoldsUnderChurn) {
+  FakeClock clk;
+  MemoryArbiter arb(TestConfig(), clk.fn());
+  auto pool = arb.LeasePool(24);
+  auto staging = arb.LeaseStaging(24);
+  Rng rng(7);
+  size_t actual = 24;
+  for (int step = 0; step < 200; ++step) {
+    clk.now_ns += 100;
+    switch (rng.Uniform(4)) {
+      case 0: {
+        size_t misses = rng.Uniform(8);
+        size_t target = pool->ReportWindow(8 - misses, misses,
+                                           rng.Uniform(actual), 0, actual);
+        actual = target;  // the pool applies targets promptly here
+        pool->ConfirmFrames(actual);
+        break;
+      }
+      case 1:
+        staging->RequestGrow(rng.Uniform(16));
+        break;
+      case 2:
+        staging->ReportUsage(rng.Uniform(32),
+                             double(rng.Uniform(100)) / 100.0,
+                             double(rng.Uniform(100)) / 100.0);
+        break;
+      case 3:
+        pool->ConfirmFrames(actual);
+        break;
+    }
+    // The one invariant arbitration must never break.
+    ASSERT_LE(arb.charged_blocks(), arb.total_blocks());
+    ASSERT_GE(pool->target_frames(), 1u);
+  }
+}
+
+// ------------------------------------------- governor lease renegotiation
+
+TEST(MemoryArbiter, GovernorRenegotiatesItsStagingLease) {
+  FakeClock clk;
+  MemoryArbiter arb(TestConfig(), clk.fn());
+
+  PrefetchGovernor::Config gcfg;
+  gcfg.budget_blocks = 16;
+  gcfg.min_depth = 2;
+  gcfg.max_depth = 16;
+  gcfg.initial_depth = 16;
+  gcfg.adapt_windows = 4;
+  gcfg.stall_floor_ns = 1000;
+  PrefetchGovernor gov(gcfg, clk.fn());
+  gov.AttachArbiter(&arb);
+  EXPECT_EQ(gov.budget_blocks(), 16u);
+  EXPECT_EQ(arb.charged_blocks(), 16u);
+
+  auto lease = gov.Arm(8);
+  ASSERT_EQ(lease->depth(), 8u);  // stages 16 = the whole current budget
+  // Stalled periods want depth 16, which the 16-block budget cannot
+  // hold: the governor renegotiates and the arbiter grants from free M.
+  for (int w = 0; w < 4; ++w) {
+    uint64_t t0 = lease->BeginWait();
+    clk.now_ns += 5000;
+    lease->EndWait(t0);
+    lease->ReportWindow(8, 0);
+  }
+  EXPECT_EQ(lease->depth(), 16u);
+  EXPECT_EQ(gov.budget_blocks(), 32u);
+  EXPECT_EQ(arb.staging_grows(), 1u);
+  EXPECT_LE(arb.charged_blocks(), arb.total_blocks());
+
+  // Revocation: the arbiter lowers the target; the governor adopts it at
+  // the next decision boundary and pressure-sheds the oversized lease.
+  auto cut = [&] {
+    // Pool pressure + idle staging: squeeze one step per usage report.
+    auto pool = arb.LeasePool(32);
+    pool->ReportWindow(0, 8, 0, 0, 32);  // miss-heavy, no headroom
+  };
+  cut();
+  size_t lowered = gov.budget_blocks();
+  for (int w = 0; w < 4; ++w) lease->ReportWindow(16, 0);
+  EXPECT_LE(gov.budget_blocks(), lowered);
+}
+
+// --------------------------------------------------- stats identity (PDM)
+
+Options ArbiterOptions() {
+  Options opts;
+  opts.block_size = 4096;
+  opts.memory_budget = 64 * 4096;
+  opts.arbiter_window_accesses = 8;
+  return opts;
+}
+
+/// Scan layer: an armed, governed stream whose staging budget is an
+/// arbiter lease must charge exactly what the synchronous scan charges.
+TEST(MemoryArbiterIdentity, GovernedScanMatchesSynchronousStats) {
+  const size_t kItems = 64 * (4096 / sizeof(uint64_t));  // 64 blocks
+  auto fill = [&](ExtVector<uint64_t>* vec, size_t depth) {
+    typename ExtVector<uint64_t>::Writer w(vec, static_cast<int>(depth));
+    Rng rng(11);
+    for (size_t i = 0; i < kItems; ++i) {
+      if (!w.Append(rng.Next())) return w.status();
+    }
+    return w.Finish();
+  };
+  // Synchronous baseline.
+  MemoryBlockDevice sync_dev(4096);
+  ExtVector<uint64_t> sync_vec(&sync_dev);
+  ASSERT_TRUE(fill(&sync_vec, 0).ok());
+  std::vector<uint64_t> sync_out;
+  ASSERT_TRUE(sync_vec.ReadAll(&sync_out, 0).ok());
+  // Arbitrated: governor attached by the bundle, streams lease depth.
+  MemoryBlockDevice arb_dev(4096);
+  ArbitratedMemory mem(&arb_dev, ArbiterOptions());
+  ExtVector<uint64_t> arb_vec(&arb_dev);
+  arb_vec.set_prefetch_depth(8);
+  ASSERT_TRUE(fill(&arb_vec, 8).ok());
+  std::vector<uint64_t> arb_out;
+  ASSERT_TRUE(arb_vec.ReadAll(&arb_out, 8).ok());
+  EXPECT_EQ(arb_out, sync_out);
+  EXPECT_EQ(sync_dev.stats(), arb_dev.stats());
+}
+
+/// Pool-backed structure: a B+-tree through the arbitrated (resizable,
+/// ghost-charged) pool must charge exactly what the fixed pool charges,
+/// for builds, probes and flushes.
+TEST(MemoryArbiterIdentity, BPlusTreeMatchesFixedPoolStats) {
+  Options opts = ArbiterOptions();
+  const size_t kBaselineFrames = 32;  // == the bundle's pool share of M
+  const size_t kKeys = 20000;
+  auto run = [&](bool arbitrated) {
+    MemoryBlockDevice dev(4096);
+    std::unique_ptr<ArbitratedMemory> mem;
+    std::unique_ptr<BufferPool> fixed;
+    BufferPool* pool;
+    if (arbitrated) {
+      mem = std::make_unique<ArbitratedMemory>(&dev, opts);
+      pool = mem->pool();
+      EXPECT_EQ(pool->baseline_frames(), kBaselineFrames);
+    } else {
+      fixed = std::make_unique<BufferPool>(&dev, kBaselineFrames);
+      pool = fixed.get();
+    }
+    BPlusTree<uint64_t, uint64_t> tree(pool);
+    EXPECT_TRUE(tree.Init().ok());
+    Rng rng(23);
+    for (size_t i = 0; i < kKeys; ++i) {
+      EXPECT_TRUE(tree.Insert(rng.Next(), i).ok());
+    }
+    Rng probe(29);
+    uint64_t v;
+    for (size_t i = 0; i < 4000; ++i) {
+      (void)tree.Get(probe.Next(), &v);  // mostly NotFound: fine
+    }
+    EXPECT_TRUE(pool->FlushAll().ok());
+    return dev.stats();
+  };
+  IoStats fixed = run(false);
+  IoStats arbitrated = run(true);
+  EXPECT_EQ(fixed, arbitrated);
+}
+
+}  // namespace
+}  // namespace vem
