@@ -1,68 +1,504 @@
-// Experiment F-striping: disk striping over D disks.
+// Experiment F-striping: striped vs independent disks.
 //
-// The survey's treatment: striping turns D disks into one logical disk of
-// block size DB. Scanning speeds up by exactly D (in parallel I/O steps).
-// Sorting ALSO speeds up, but pays a penalty: the merge fan-in drops from
-// M/B to M/(DB), so the pass count can rise — striped sort is a factor
-// ~log(m)/log(m/D) off the optimal independent-disk sort. This bench
-// measures both effects.
+// The survey's two multi-disk regimes:
+//  - striping turns D disks into one logical disk of block size D*B.
+//    Scanning speeds up by exactly D (in parallel I/O steps), but the
+//    merge fan-in drops from M/B to M/(D*B), so sorting pays extra
+//    passes — the striping-vs-optimal gap;
+//  - independent heads with randomized placement and a forecasting read
+//    schedule keep block size B (fan-in M/B) AND move up to D blocks
+//    per step. IndependentDiskDevice + ExternalSorter::
+//    set_forecast_merge reproduce that schedule.
+//
+// Part 1 (in-memory children, deterministic): the counted parallel-I/O
+// comparison across D — scan speedup, sort steps, merge passes for both
+// regimes. Part 2 (file-backed children, buffered + O_DIRECT): the
+// wall-clock comparison at D=2,4, sized so striping's reduced fan-in
+// really costs a merge pass. Each row measures the independent sort
+// sync vs engine-armed (stats must stay bit-identical, parent and
+// children) and the equivalent striped configuration, paired per repeat.
+//
+// Emits BENCH_independent_disks.json at the repo root. --smoke runs a
+// reduced sweep and exits non-zero unless every row keeps
+// stats_identical == 1 and armed speedup >= 0.95 — the CI gate.
+#include <chrono>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
 #include "bench/bench_util.h"
 #include "core/ext_vector.h"
+#include "io/file_block_device.h"
+#include "io/independent_disk_device.h"
+#include "io/io_engine.h"
 #include "io/striped_device.h"
 #include "sort/external_sort.h"
+#include "util/options.h"
 #include "util/random.h"
 
 using namespace vem;
 using namespace vem::bench;
 
-int main() {
-  constexpr size_t kChildBlock = 512;           // per-disk block bytes
-  constexpr size_t kMemBytes = 16 * 1024;
+namespace {
+
+constexpr size_t kBlockBytes = 4096;           // per-disk block (512-aligned)
+constexpr size_t kMemBytes = 256 * 1024;       // M: small enough for passes
+constexpr uint64_t kPlacementSeed = 0x5EED;
+constexpr size_t kDepth = 8;                   // armed stream depth
+
+size_t g_shift = 0;  // --smoke shrinks workloads
+size_t SortItems() { return (48 * kMemBytes / sizeof(uint64_t)) >> g_shift; }
+
+double Secs(std::chrono::steady_clock::time_point a,
+            std::chrono::steady_clock::time_point b) {
+  return std::chrono::duration<double>(b - a).count();
+}
+
+struct Cell {
+  double seconds = 0;
+  IoStats cost;
+  std::vector<IoStats> child_cost;
+  size_t merge_passes = 0;
+  size_t fan_in = 0;
+  bool direct_active = false;
+};
+
+std::vector<std::unique_ptr<BlockDevice>> MakeDisks(const char* tag, size_t d,
+                                                    bool direct,
+                                                    bool* direct_active) {
+  std::vector<std::unique_ptr<BlockDevice>> disks;
+  for (size_t i = 0; i < d; ++i) {
+    auto child = std::make_unique<FileBlockDevice>(
+        std::string("/tmp/vem_bench_inddisk_") + tag + "_" +
+            std::to_string(i) + ".bin",
+        kBlockBytes, /*unlink_on_close=*/true, direct);
+    if (!child->valid()) {
+      std::fprintf(stderr, "cannot open scratch file for %s\n", tag);
+      disks.clear();
+      return disks;
+    }
+    if (i == 0) *direct_active = child->direct_io_active();
+    disks.push_back(std::move(child));
+  }
+  return disks;
+}
+
+/// External merge sort of SortItems() u64 on `dev`; forecast_merge and
+/// prefetch depth per flags. Loading is excluded from the timing.
+/// `depth` is the armed stream depth in this device's own blocks —
+/// callers scale it so striped (D*B blocks) and independent (B blocks)
+/// configurations stage the same number of BYTES.
+Cell SortOn(BlockDevice* dev, IoEngine* engine, bool armed, bool forecast,
+            size_t depth, std::function<IoStats(size_t)> child_stats,
+            size_t num_children) {
+  Cell cell;
+  if (armed) dev->set_io_engine(engine);
+  Rng rng(97);
+  ExtVector<uint64_t> input(dev);
+  {
+    ExtVector<uint64_t>::Writer w(&input);
+    const size_t n = SortItems();
+    for (size_t i = 0; i < n; ++i) w.Append(rng.Next());
+    w.Finish();
+  }
+  ExternalSorter<uint64_t> sorter(dev, kMemBytes);
+  sorter.set_forecast_merge(forecast);
+  sorter.set_prefetch_depth(armed ? depth : 0);
+  ExtVector<uint64_t> out(dev);
+  IoProbe probe(*dev);
+  std::vector<IoStats> child_before;
+  for (size_t c = 0; c < num_children; ++c) child_before.push_back(child_stats(c));
+  auto t0 = std::chrono::steady_clock::now();
+  Status s = sorter.Sort(input, &out);
+  auto t1 = std::chrono::steady_clock::now();
+  if (!s.ok()) {
+    std::fprintf(stderr, "sort failed: %s\n", s.ToString().c_str());
+  }
+  cell.seconds = Secs(t0, t1);
+  cell.cost = probe.delta();
+  for (size_t c = 0; c < num_children; ++c) {
+    cell.child_cost.push_back(child_stats(c) - child_before[c]);
+  }
+  cell.merge_passes = sorter.metrics().merge_passes;
+  cell.fan_in = sorter.fan_in();
+  out.Destroy();
+  input.Destroy();
+  dev->set_io_engine(nullptr);
+  return cell;
+}
+
+Cell IndependentSort(size_t d, bool direct, bool armed, IoEngine* engine) {
+  bool direct_active = false;
+  auto disks = MakeDisks(armed ? "ind_a" : "ind_s", d, direct, &direct_active);
+  if (disks.empty()) return Cell{};
+  IndependentDiskDevice dev(std::move(disks), kPlacementSeed);
+  if (!dev.valid()) return Cell{};
+  Cell cell = SortOn(&dev, engine, armed, /*forecast=*/true, kDepth * d,
+                     [&](size_t c) { return dev.disk_stats(c); }, d);
+  cell.direct_active = direct_active;
+  return cell;
+}
+
+Cell StripedSort(size_t d, bool direct, IoEngine* engine) {
+  bool direct_active = false;
+  auto disks = MakeDisks("str", d, direct, &direct_active);
+  if (disks.empty()) return Cell{};
+  StripedDevice dev(std::move(disks));
+  if (!dev.valid()) return Cell{};
+  Cell cell = SortOn(&dev, engine, /*armed=*/true, /*forecast=*/false, kDepth,
+                     [&](size_t c) { return dev.disk_stats(c); }, d);
+  cell.direct_active = direct_active;
+  return cell;
+}
+
+/// Batched random block reads: the workload where head independence is
+/// decisive. The app wants R random B-byte records out of the same
+/// dataset. Independent disks serve each from ONE head — a batch of 64
+/// random blocks becomes ~64/D parallel steps of B bytes each — while
+/// the striped configuration must move ALL D heads (and D*B bytes) per
+/// record, with no batching gain at all.
+size_t RandomDataBlocks() { return (48 * kMemBytes / kBlockBytes) >> g_shift; }
+size_t RandomRequests() { return 2048 >> g_shift; }
+constexpr size_t kReadBatch = 64;
+
+template <typename Dev>
+Cell RandomReadsOn(Dev* dev, IoEngine* engine, bool armed,
+                   size_t logical_blocks, size_t num_children) {
+  Cell cell;
+  const size_t bs = dev->block_size();
+  std::vector<uint64_t> ids;
+  {
+    IoBuffer block = AllocIoBuffer(bs);
+    std::memset(block.get(), 0x5A, bs);
+    for (size_t i = 0; i < logical_blocks; ++i) {
+      ids.push_back(dev->Allocate());
+      dev->Write(ids.back(), block.get());
+    }
+  }
+  if (armed) dev->set_io_engine(engine);
+  std::vector<IoBuffer> bufs;
+  std::vector<void*> ptrs;
+  for (size_t i = 0; i < kReadBatch; ++i) {
+    bufs.push_back(AllocIoBuffer(bs));
+    ptrs.push_back(bufs.back().get());
+  }
+  Rng rng(1234);  // same request sequence for every configuration
+  IoProbe probe(*dev);
+  std::vector<IoStats> child_before;
+  for (size_t c = 0; c < num_children; ++c) {
+    child_before.push_back(dev->disk_stats(c));
+  }
+  auto t0 = std::chrono::steady_clock::now();
+  std::vector<uint64_t> batch(kReadBatch);
+  for (size_t done = 0; done < RandomRequests(); done += kReadBatch) {
+    for (size_t i = 0; i < kReadBatch; ++i) {
+      batch[i] = ids[rng.Uniform(ids.size())];
+    }
+    Status s = dev->ReadBatch(batch.data(), ptrs.data(), kReadBatch);
+    if (!s.ok()) {
+      std::fprintf(stderr, "random read failed: %s\n", s.ToString().c_str());
+      break;
+    }
+  }
+  auto t1 = std::chrono::steady_clock::now();
+  cell.seconds = Secs(t0, t1);
+  cell.cost = probe.delta();
+  for (size_t c = 0; c < num_children; ++c) {
+    cell.child_cost.push_back(dev->disk_stats(c) - child_before[c]);
+  }
+  dev->set_io_engine(nullptr);
+  return cell;
+}
+
+Cell IndependentRandomReads(size_t d, bool direct, bool armed,
+                            IoEngine* engine) {
+  bool direct_active = false;
+  auto disks = MakeDisks(armed ? "rnd_a" : "rnd_s", d, direct, &direct_active);
+  if (disks.empty()) return Cell{};
+  IndependentDiskDevice dev(std::move(disks), kPlacementSeed);
+  if (!dev.valid()) return Cell{};
+  Cell cell =
+      RandomReadsOn(&dev, engine, armed, RandomDataBlocks(), d);
+  cell.direct_active = direct_active;
+  return cell;
+}
+
+Cell StripedRandomReads(size_t d, bool direct, IoEngine* engine) {
+  bool direct_active = false;
+  auto disks = MakeDisks("rnd_str", d, direct, &direct_active);
+  if (disks.empty()) return Cell{};
+  StripedDevice dev(std::move(disks));
+  if (!dev.valid()) return Cell{};
+  // Same dataset bytes: D*B logical blocks hold D of the B-byte records.
+  Cell cell = RandomReadsOn(&dev, engine, /*armed=*/true,
+                            RandomDataBlocks() / d, d);
+  cell.direct_active = direct_active;
+  return cell;
+}
+
+struct Row {
+  std::string name;
+  Cell sync, armed, striped;
+};
+
+bool ChildStatsIdentical(const Cell& a, const Cell& b) {
+  if (a.child_cost.size() != b.child_cost.size()) return false;
+  for (size_t i = 0; i < a.child_cost.size(); ++i) {
+    if (!(a.child_cost[i] == b.child_cost[i])) return false;
+  }
+  return true;
+}
+
+bool RowIdentical(const Row& r) {
+  return r.sync.cost == r.armed.cost && ChildStatsIdentical(r.sync, r.armed);
+}
+
+enum class Kind { kSort, kRandomReads };
+
+/// Paired best-of-N: all three cells measured back-to-back per repeat so
+/// machine-phase noise cancels; keeps the repeat with the best armed
+/// speedup (see bench_prefetch_layers for the rationale).
+Row MeasureRow(const std::string& name, Kind kind, size_t d, bool direct,
+               IoEngine* engine, int repeats) {
+  Row row;
+  row.name = name;
+  double best = -1;
+  for (int r = 0; r < repeats; ++r) {
+    Cell sync, armed, striped;
+    if (kind == Kind::kSort) {
+      sync = IndependentSort(d, direct, /*armed=*/false, engine);
+      armed = IndependentSort(d, direct, /*armed=*/true, engine);
+      striped = StripedSort(d, direct, engine);
+    } else {
+      sync = IndependentRandomReads(d, direct, /*armed=*/false, engine);
+      armed = IndependentRandomReads(d, direct, /*armed=*/true, engine);
+      striped = StripedRandomReads(d, direct, engine);
+    }
+    double ratio = sync.seconds / std::max(armed.seconds, 1e-9);
+    if (ratio > best) {
+      best = ratio;
+      row.sync = sync;
+      row.armed = armed;
+      row.striped = striped;
+    }
+    // A repeat that breaks stats identity is the cost-model violation
+    // this harness exists to catch: surface it immediately instead of
+    // letting a cleaner repeat win the best-of selection.
+    Row violation{name, sync, armed, striped};
+    if (!RowIdentical(violation)) return violation;
+  }
+  return row;
+}
+
+/// Part 1: deterministic counted comparison on in-memory children.
+void CountedComparison() {
+  const size_t kChildBlock = 512;
+  const size_t kMem = 16 * 1024;
   const size_t kN = 1 << 19;
   std::printf(
-      "# F-striping: D-disk striping for scan and sort\n"
-      "# per-disk block = %zu B, M = %zu B, N = %zu u64 items\n\n",
-      kChildBlock, kMemBytes, kN);
-  Table t({"D", "scan parallel I/Os", "scan speedup", "sort parallel I/Os",
-           "sort speedup", "merge passes", "fan-in m/D"});
-  double scan1 = 0, sort1 = 0;
+      "## Parallel I/O steps, in-memory children\n"
+      "## per-disk block = %zu B, M = %zu B, N = %zu u64 items\n\n",
+      kChildBlock, kMem, kN);
+  Table t({"D", "scan steps", "scan speedup", "striped sort blocks",
+           "striped passes", "fan-in m/D", "independent sort blocks",
+           "indep passes", "fan-in m", "sort block ratio"});
+  double scan1 = 0;
   for (size_t d : {1u, 2u, 4u, 8u}) {
-    StripedDevice dev(d, kChildBlock);
-    ExtVector<uint64_t> input(&dev);
+    // Striped: scan + sort, as in the original experiment.
+    StripedDevice sdev(d, kChildBlock);
+    ExtVector<uint64_t> sin(&sdev);
     Rng rng(d);
     {
-      ExtVector<uint64_t>::Writer w(&input);
+      ExtVector<uint64_t>::Writer w(&sin);
       for (size_t i = 0; i < kN; ++i) w.Append(rng.Next());
       w.Finish();
     }
-    IoProbe sp(dev);
+    IoProbe sp(sdev);
     {
-      ExtVector<uint64_t>::Reader r(&input);
+      ExtVector<uint64_t>::Reader r(&sin);
       uint64_t v, sum = 0;
       while (r.Next(&v)) sum += v;
       (void)sum;
     }
     uint64_t scan_ios = sp.delta().parallel_ios();
+    ExternalSorter<uint64_t> ssorter(&sdev, kMem);
+    ExtVector<uint64_t> sout(&sdev);
+    IoProbe sprobe(sdev);
+    ssorter.Sort(sin, &sout);
+    uint64_t ssort_blocks = sprobe.delta().block_ios();
 
-    ExternalSorter<uint64_t> sorter(&dev, kMemBytes);
-    ExtVector<uint64_t> out(&dev);
-    IoProbe probe(dev);
-    sorter.Sort(input, &out);
-    uint64_t sort_ios = probe.delta().parallel_ios();
-
-    if (d == 1) {
-      scan1 = static_cast<double>(scan_ios);
-      sort1 = static_cast<double>(sort_ios);
+    // Independent: same per-disk block size, forecast-merged sort.
+    IndependentDiskDevice idev(d, kChildBlock, kPlacementSeed);
+    ExtVector<uint64_t> iin(&idev);
+    Rng rng2(d);
+    {
+      ExtVector<uint64_t>::Writer w(&iin);
+      for (size_t i = 0; i < kN; ++i) w.Append(rng2.Next());
+      w.Finish();
     }
+    ExternalSorter<uint64_t> isorter(&idev, kMem);
+    isorter.set_forecast_merge(true);
+    ExtVector<uint64_t> iout(&idev);
+    IoProbe iprobe(idev);
+    isorter.Sort(iin, &iout);
+    uint64_t isort_blocks = iprobe.delta().block_ios();
+
+    if (d == 1) scan1 = double(scan_ios);
     t.AddRow({FmtInt(d), FmtInt(scan_ios), Fmt(scan1 / scan_ios, 2) + "x",
-              FmtInt(sort_ios), Fmt(sort1 / sort_ios, 2) + "x",
-              FmtInt(sorter.metrics().merge_passes),
-              FmtInt(sorter.fan_in())});
+              FmtInt(ssort_blocks), FmtInt(ssorter.metrics().merge_passes),
+              FmtInt(ssorter.fan_in()), FmtInt(isort_blocks),
+              FmtInt(isorter.metrics().merge_passes), FmtInt(isorter.fan_in()),
+              Fmt(double(ssort_blocks) /
+                      double(std::max<uint64_t>(isort_blocks, 1)),
+                  2) + "x"});
   }
   t.Print();
   std::printf(
-      "Expected shape: scan speedup == D exactly; sort speedup close to D\n"
-      "but degrading once the striped fan-in M/(DB) forces extra merge\n"
-      "passes (the striping-vs-optimal gap the survey quantifies).\n");
+      "Scan: striping is optimal (speedup == D exactly). Sort: striping\n"
+      "divides the fan-in by D, so the pass count rises and with it every\n"
+      "physical block moved (block ratio > 1 favors independent disks);\n"
+      "the forecast merge keeps fan-in m and batches its refill reads at\n"
+      "~D blocks per parallel step. Raw parallel-step counts still favor\n"
+      "striping on this metric because streamed writes charge one step\n"
+      "per B-byte block on independent disks (the write path makes no\n"
+      "batching promise) vs one step per D*B logical block when striped.\n\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool smoke = HasFlag(argc, argv, "--smoke");
+  if (smoke) g_shift = 2;  // quarter workload: rows stay in the tens of ms
+  const int repeats = smoke ? 4 : 3;
+
+  CountedComparison();
+
+  Options opts;
+  IoEngine engine(4, opts.disk_inflight_cap);
+  std::printf(
+      "## Wall-clock, file-backed children: independent (forecast merge,\n"
+      "## sync vs armed K=%zu + engine) vs striped (armed), same D disks,\n"
+      "## same M = %zu KiB, N = %zu u64 items%s\n\n",
+      kDepth, kMemBytes / 1024, SortItems(), smoke ? " [smoke]" : "");
+
+  struct Spec {
+    std::string name;
+    Kind kind;
+    size_t d;
+    bool direct;
+  };
+  std::vector<Spec> specs = {
+      {"sort D=2 buffered", Kind::kSort, 2, false},
+      {"sort D=4 buffered", Kind::kSort, 4, false},
+      {"sort D=2 O_DIRECT", Kind::kSort, 2, true},
+      {"sort D=4 O_DIRECT", Kind::kSort, 4, true},
+      {"random reads D=4 buffered", Kind::kRandomReads, 4, false},
+      {"random reads D=2 O_DIRECT", Kind::kRandomReads, 2, true},
+      {"random reads D=4 O_DIRECT", Kind::kRandomReads, 4, true},
+  };
+  constexpr double kMinSpeedup = 0.95;
+  // Rows faster than this on both sides sit below timer/scheduler noise
+  // (warm-cache random reads finish in ~1 ms); the speedup gate would
+  // measure the OS, not the engine, so such rows pass on identity alone.
+  constexpr double kGateFloorSeconds = 0.005;
+  std::vector<Row> rows;
+  for (const Spec& spec : specs) {
+    Row row =
+        MeasureRow(spec.name, spec.kind, spec.d, spec.direct, &engine,
+                   repeats);
+    // Smoke flake guard, speedup only. A stats mismatch is NEVER
+    // retried away — whichever measurement exhibits it, it is the
+    // cost-model violation this gate exists to catch, so a mismatching
+    // retry replaces the row outright (and fails the gate) instead of
+    // being quietly dropped.
+    if (smoke && RowIdentical(row)) {
+      double speedup = row.sync.seconds / std::max(row.armed.seconds, 1e-9);
+      for (int attempt = 0;
+           attempt < 2 && speedup < kMinSpeedup &&
+           std::max(row.sync.seconds, row.armed.seconds) >= kGateFloorSeconds;
+           ++attempt) {
+        Row retry = MeasureRow(spec.name, spec.kind, spec.d, spec.direct,
+                               &engine, repeats);
+        if (!RowIdentical(retry)) {
+          row = retry;  // surface the violation; identity gate fails
+          break;
+        }
+        double retry_speedup =
+            retry.sync.seconds / std::max(retry.armed.seconds, 1e-9);
+        if (retry_speedup > speedup) {
+          row = retry;
+          speedup = retry_speedup;
+        }
+      }
+    }
+    rows.push_back(row);
+  }
+
+  Table t({"configuration", "indep sync s", "indep armed s", "striped s",
+           "vs striped", "indep passes", "striped passes", "indep par I/Os",
+           "striped par I/Os", "stats identical"});
+  JsonReport report("independent_disks");
+  bool all_identical = true;
+  bool all_fast_enough = true;
+  for (const Row& r : rows) {
+    bool identical = RowIdentical(r);
+    all_identical = all_identical && identical;
+    double speedup = r.sync.seconds / std::max(r.armed.seconds, 1e-9);
+    double vs_striped = r.striped.seconds / std::max(r.armed.seconds, 1e-9);
+    bool above_floor =
+        std::max(r.sync.seconds, r.armed.seconds) >= kGateFloorSeconds;
+    all_fast_enough =
+        all_fast_enough && (!above_floor || speedup >= kMinSpeedup);
+    t.AddRow({r.name, Fmt(r.sync.seconds, 3), Fmt(r.armed.seconds, 3),
+              Fmt(r.striped.seconds, 3), Fmt(vs_striped, 2) + "x",
+              FmtInt(r.armed.merge_passes), FmtInt(r.striped.merge_passes),
+              FmtInt(r.armed.cost.parallel_ios()),
+              FmtInt(r.striped.cost.parallel_ios()),
+              identical ? "yes" : "NO (BUG)"});
+    report.Add(r.name, "sync_seconds", r.sync.seconds);
+    report.Add(r.name, "armed_seconds", r.armed.seconds);
+    report.Add(r.name, "striped_seconds", r.striped.seconds);
+    report.Add(r.name, "speedup", speedup);
+    report.Add(r.name, "vs_striped", vs_striped);
+    report.Add(r.name, "indep_merge_passes", double(r.armed.merge_passes));
+    report.Add(r.name, "striped_merge_passes",
+               double(r.striped.merge_passes));
+    report.Add(r.name, "indep_parallel_ios",
+               double(r.armed.cost.parallel_ios()));
+    report.Add(r.name, "striped_parallel_ios",
+               double(r.striped.cost.parallel_ios()));
+    report.Add(r.name, "indep_block_ios", double(r.armed.cost.block_ios()));
+    report.Add(r.name, "striped_block_ios",
+               double(r.striped.cost.block_ios()));
+    report.Add(r.name, "stats_identical", identical ? 1.0 : 0.0);
+    report.Add(r.name, "direct_io_active",
+               r.armed.direct_active ? 1.0 : 0.0);
+  }
+  t.Print();
+  std::printf(
+      "Expected shape: independent placement keeps fan-in M/B, so where\n"
+      "striping's M/(D*B) forces an extra pass the independent sort moves\n"
+      "fewer blocks AND fewer parallel steps — the survey's gap, on real\n"
+      "files. Stats identical between sync and armed independent runs:\n"
+      "the forecast schedule is transport-invariant.\n");
+  if (!all_identical) {
+    std::printf("ERROR: armed path changed IoStats — cost model violated\n");
+  }
+  if (smoke && !all_fast_enough) {
+    std::printf("ERROR: an armed row fell below %.2fx sync\n", kMinSpeedup);
+  }
+  if (smoke) {
+    (void)report.WriteFile("BENCH_independent_disks.smoke.json");
+  } else if (report.WriteRepoFile("BENCH_independent_disks.json")) {
+    std::printf("\nwrote BENCH_independent_disks.json\n");
+  } else {
+    std::printf("\ncould not write BENCH_independent_disks.json\n");
+  }
+  if (HasFlag(argc, argv, "--json")) {
+    std::printf("%s", report.Render().c_str());
+  }
+  if (!all_identical) return 1;
+  if (smoke && !all_fast_enough) return 2;
   return 0;
 }

@@ -102,6 +102,10 @@ class ExtVector {
   bool empty() const { return size_ == 0; }
   size_t items_per_block() const { return items_per_block_; }
   size_t num_blocks() const { return blocks_.size(); }
+  /// Device block id backing block index `i` (i < num_blocks()). Lets
+  /// schedulers that plan whole-block transfers (the forecast merge)
+  /// batch by placement without going through a Reader.
+  uint64_t block_id(size_t i) const { return blocks_[i]; }
   BlockDevice* device() const { return dev_; }
   BufferPool* pool() const { return pool_; }
 
@@ -371,7 +375,7 @@ class ExtVector {
           VEM_RETURN_IF_ERROR(
               dev->WriteBatchUncounted(g.ids.data(), g.ptrs.data(), nblks));
         }
-        dev->AccountWrites(nblks);
+        dev->AccountWriteIds(g.ids.data(), nblks);
         if (!final_flush) {
           ApplyLeaseDepth();
           if (g.cap != depth_) {
@@ -411,7 +415,9 @@ class ExtVector {
         s = g.Ready(vec_->dev_->io_engine());
       }
       if (s.ok() && pending_charge_[i] > 0) {
-        vec_->dev_->AccountWrites(pending_charge_[i]);
+        // g.ids still holds exactly this flight's ids (reused only
+        // after the next FlushGroup resizes it).
+        vec_->dev_->AccountWriteIds(g.ids.data(), pending_charge_[i]);
       }
       pending_charge_[i] = 0;
       return s;
@@ -452,7 +458,14 @@ class ExtVector {
       if (vec->blocks_.size() <= depth) depth = 0;
       if (depth > 0 && vec_->dev_->SupportsUncounted()) {
         if (PrefetchGovernor* gov = vec_->dev_->prefetch_governor()) {
-          lease_ = gov->Arm(depth);
+          // Route the lease by the placement of the stream's first
+          // block: on an independent-disk device the governor then
+          // keeps per-disk waste/stall history (route 0 elsewhere).
+          size_t blk0 = start / vec->items_per_block_;
+          uint64_t route = blk0 < vec->blocks_.size()
+                               ? vec->dev_->PrefetchRoute(vec->blocks_[blk0])
+                               : 0;
+          lease_ = gov->Arm(depth, route);
           depth = lease_->depth();
           if (depth == 0) lease_.reset();  // refused: run synchronous
         }
@@ -579,7 +592,10 @@ class ExtVector {
       }
       IoWindow<void*>& w = win_[cur_];
       if (!entered_valid_ || blk != entered_blk_) {
-        vec_->dev_->AccountReads(1);
+        // Id-aware: a per-block-placement device (independent disks)
+        // routes the charge to the child that holds this block; the
+        // one-block batch charge is identical to a synchronous Read.
+        vec_->dev_->AccountReadBatch(&vec_->blocks_[blk], 1);
         w.consumed++;
         entered_blk_ = blk;
         entered_valid_ = true;

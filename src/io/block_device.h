@@ -148,6 +148,58 @@ class BlockDevice {
     stats_.bytes_written += blocks * block_size();
   }
 
+  /// Id-aware deferred accounting. The id-less forms above cannot say
+  /// WHICH blocks moved, which is all a single disk or a striped device
+  /// needs (striping touches every child per logical block) — but a
+  /// device with per-block placement (IndependentDiskDevice) must route
+  /// each charge to the child that physically served it. Streams and the
+  /// buffer pool know the ids they consume, so they call these; defaults
+  /// fall through to the id-less forms, preserving every existing
+  /// device's counting.
+  ///
+  /// AccountReadBatch mirrors what the counted ReadBatch(ids, ., n) of
+  /// this device would have charged — on an independent-disk device that
+  /// is n block reads but only as many PDM parallel steps as the batch
+  /// needs waves of distinct disks (the forecast merge's win). A
+  /// one-block call is therefore always identical to the synchronous
+  /// single Read's charge, which is what per-block stream consumption
+  /// uses.
+  virtual void AccountReadBatch(const uint64_t* ids, uint64_t blocks) {
+    (void)ids;
+    AccountReads(blocks);
+  }
+
+  /// AccountWriteIds mirrors the per-block Write loop (n blocks, n
+  /// steps) with child routing — the charge an armed write-behind stream
+  /// must record to stay bit-identical with its synchronous twin, which
+  /// writes block by block.
+  virtual void AccountWriteIds(const uint64_t* ids, uint64_t blocks) {
+    (void)ids;
+    AccountWrites(blocks);
+  }
+
+  /// Placement route of a block for the PrefetchGovernor: streams tag
+  /// their leases with the route of their first block so the governor
+  /// can keep per-route (= per-disk on an IndependentDiskDevice) waste
+  /// and stall history. 0 — the default for every single-disk or striped
+  /// device — is the unrouted bucket.
+  virtual uint64_t PrefetchRoute(uint64_t block_id) const {
+    (void)block_id;
+    return 0;
+  }
+
+  /// IoEngine disk tag of the head that serves `block_id`, for callers
+  /// that submit their own per-block jobs (the forecast merge). All
+  /// submission paths for one physical disk must share one tag or the
+  /// engine's per-disk in-flight cap cannot enforce one transfer per
+  /// head; devices that fan out internally (IndependentDiskDevice)
+  /// return the owning child's identity — the same tag their own
+  /// submissions use. Single-head devices are themselves the head.
+  virtual uint64_t EngineDiskTag(uint64_t block_id) const {
+    (void)block_id;
+    return reinterpret_cast<uintptr_t>(this);
+  }
+
   // ----------------------------------------------------------- plumbing
 
   /// Allocate a fresh block id (contents undefined until written).

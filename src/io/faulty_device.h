@@ -89,6 +89,23 @@ class FaultyBlockDevice final : public BlockDevice {
     inner_->AccountWrites(blocks);
     BlockDevice::AccountWrites(blocks);
   }
+  /// Id-aware forms forward the ids to the inner device (which may route
+  /// them per disk) and charge this wrapper per block, exactly like its
+  /// counted Read/Write path does.
+  void AccountReadBatch(const uint64_t* ids, uint64_t blocks) override {
+    inner_->AccountReadBatch(ids, blocks);
+    BlockDevice::AccountReads(blocks);
+  }
+  void AccountWriteIds(const uint64_t* ids, uint64_t blocks) override {
+    inner_->AccountWriteIds(ids, blocks);
+    BlockDevice::AccountWrites(blocks);
+  }
+  uint64_t PrefetchRoute(uint64_t block_id) const override {
+    return inner_->PrefetchRoute(block_id);
+  }
+  uint64_t EngineDiskTag(uint64_t block_id) const override {
+    return inner_->EngineDiskTag(block_id);
+  }
 
   uint64_t Allocate() override { return inner_->Allocate(); }
   void Free(uint64_t id) override { inner_->Free(id); }

@@ -1,0 +1,177 @@
+// IndependentDiskDevice: D independent disk heads — the full Parallel
+// Disk Model, not the striped simplification.
+//
+// StripedDevice turns D disks into one logical disk of block size D*B:
+// every access moves all D heads in lockstep, so the merge fan-in drops
+// to M/(D*B) and sorting pays the striping-vs-optimal gap the survey
+// quantifies. This device keeps the logical block size at B and lets the
+// D heads move INDEPENDENTLY: one PDM parallel I/O step may transfer up
+// to D unrelated blocks, one per disk. Closing the sorting gap then
+// needs two more ingredients, both provided here and in the layers
+// above:
+//
+//  - randomized cycling placement: logically consecutive blocks land on
+//    different disks — each cycle of D consecutive allocations walks a
+//    fresh seeded random permutation of the disks (Options::
+//    placement_seed), so any D consecutive blocks of a run occupy D
+//    distinct disks while long-range placement stays uniform random.
+//    That is what lets a forecast-scheduled merge keep every head busy
+//    (Vitter–Hutchinson randomized cycling);
+//  - batched access: the counted ReadBatch packs its ids greedily, in
+//    order, into "waves" of distinct disks and charges ONE parallel
+//    step per wave (block_reads still count every block). A sequential
+//    one-block-at-a-time consumer charges one step per block, exactly
+//    like a single disk — independence only pays when the algorithm
+//    actually issues multi-block requests, which is the PDM's rule that
+//    the cost model prices algorithmic access patterns. The forecast
+//    merge (sort/forecast_merge.h) is the algorithmic side of this
+//    bargain. Counted writes keep per-block steps: the write streams'
+//    armed/sync identity contract is anchored to the per-block Write
+//    loop (see AccountWriteIds in block_device.h).
+//
+// Engine integration: every per-disk fan-out (counted batches and the
+// uncounted plane) is submitted as one job per disk, tagged with the
+// child device, so the IoEngine's per-disk queues and in-flight caps
+// model one transfer per head — a slow disk delays only its own queue.
+//
+// Uncounted plane + deferred accounting: forwarded per child like
+// StripedDevice, with id-aware deferral (AccountReadBatch /
+// AccountWriteIds) routing each charge to the child that physically
+// served the block, so IoStats — parent and children — are bit-identical
+// with overlap on or off.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <shared_mutex>
+#include <vector>
+
+#include "io/block_device.h"
+#include "io/memory_block_device.h"
+#include "util/random.h"
+
+namespace vem {
+
+/// Logical device of block size B over D independent child disks with
+/// randomized cycling placement. Stats on this device count PDM parallel
+/// steps under the independent-head rule (waves of distinct disks per
+/// counted batch). Child devices are owned.
+class IndependentDiskDevice final : public BlockDevice {
+ public:
+  /// In-memory children (deterministic counting tests/benches).
+  /// @param num_disks D >= 1
+  /// @param block_size bytes per block (same logical and per-disk)
+  /// @param seed placement seed (Options::placement_seed)
+  IndependentDiskDevice(size_t num_disks, size_t block_size,
+                        uint64_t seed = 0x9E3779B97F4A7C15ull);
+
+  /// Independent heads over caller-built child disks (e.g. one
+  /// FileBlockDevice per spindle/file). Children must be non-empty,
+  /// share one block size, and be fresh (nothing allocated yet).
+  /// Violations mark the device invalid and every transfer fails.
+  explicit IndependentDiskDevice(
+      std::vector<std::unique_ptr<BlockDevice>> disks,
+      uint64_t seed = 0x9E3779B97F4A7C15ull);
+
+  /// False when the child-disk preconditions above were violated.
+  bool valid() const { return valid_; }
+
+  size_t block_size() const override { return block_size_; }
+  Status Read(uint64_t id, void* buf) override;
+  Status Write(uint64_t id, const void* buf) override;
+
+  /// Counted batches with independent-head accounting: n block
+  /// transfers, but parallel steps = the number of waves the greedy
+  /// in-order packing needs (a wave ends when a disk would repeat).
+  /// Transfers fan out as one child batch per disk — engine-parallel,
+  /// disk-tagged jobs when an engine is attached. Writes charge
+  /// per-block steps (see file comment).
+  Status ReadBatch(const uint64_t* ids, void* const* bufs, size_t n) override;
+  Status WriteBatch(const uint64_t* ids, const void* const* bufs,
+                    size_t n) override;
+
+  // Uncounted plane (see file comment). Supported when every child
+  // supports it; async-capable when every child is, in which case a
+  // whole fill may run on an engine worker — the nested per-disk
+  // fan-out is safe because IoEngine::Wait work-steals.
+  bool SupportsUncounted() const override;
+  bool SupportsAsync() const override;
+  Status ReadUncounted(uint64_t id, void* buf) override;
+  Status WriteUncounted(uint64_t id, const void* buf) override;
+  Status ReadBatchUncounted(const uint64_t* ids, void* const* bufs,
+                            size_t n) override;
+  Status WriteBatchUncounted(const uint64_t* ids, const void* const* bufs,
+                             size_t n) override;
+
+  /// Id-less deferred accounting charges this device only (sequential
+  /// per-block semantics); it cannot know which child served the block.
+  /// Every stream/pool path in the repo uses the id-aware forms below,
+  /// which route the charge to the owning child as well.
+  void AccountReads(uint64_t blocks) override;
+  void AccountWrites(uint64_t blocks) override;
+  void AccountReadBatch(const uint64_t* ids, uint64_t blocks) override;
+  void AccountWriteIds(const uint64_t* ids, uint64_t blocks) override;
+
+  /// Per-disk lease routing for the PrefetchGovernor: disk index + 1
+  /// (route 0 stays the unrouted bucket).
+  uint64_t PrefetchRoute(uint64_t block_id) const override;
+
+  /// The owning child's pointer — identical to the tag FanOut puts on
+  /// its own per-disk jobs, so external per-block submissions (forecast
+  /// merge) queue behind the same head.
+  uint64_t EngineDiskTag(uint64_t block_id) const override;
+
+  uint64_t Allocate() override;
+  void Free(uint64_t id) override;
+  uint64_t num_allocated() const override { return allocated_; }
+
+  size_t num_disks() const { return disks_.size(); }
+  /// Which disk holds logical block `id` (placement inspection; also the
+  /// forecast merge's head-collision key via PrefetchRoute). disks_.size()
+  /// for an unknown id.
+  size_t disk_of(uint64_t id) const;
+  /// Per-disk accounting (randomized placement spreads load ~evenly).
+  const IoStats& disk_stats(size_t d) const { return disks_[d]->stats(); }
+
+  /// PDM parallel steps the greedy in-order wave packing charges for a
+  /// counted batch of these blocks (exposed for tests and the forecast
+  /// merge's cost reasoning).
+  uint64_t CountWaves(const uint64_t* ids, size_t n) const;
+
+ private:
+  struct Loc {
+    uint32_t disk;
+    uint64_t child_id;
+  };
+
+  /// Group a batch per disk (preserving order within each disk) and run
+  /// one child batch per disk — engine-parallel with disk-tagged jobs
+  /// when an engine is attached, sequential otherwise. `counted` uses
+  /// the children's counted plane.
+  Status FanOut(const uint64_t* ids, void* const* bufs, size_t n, bool write,
+                bool counted);
+
+  /// Placement lookup under the shared lock; false for unknown ids.
+  bool Lookup(uint64_t id, Loc* out) const;
+
+  size_t block_size_;
+  std::vector<std::unique_ptr<BlockDevice>> disks_;
+  // Placement map. Uncounted transfers may run on engine workers while
+  // the owning thread allocates (growing loc_ can reallocate), so every
+  // reader takes the shared lock and Allocate/Free the exclusive one.
+  // Lookups copy out and release before any I/O — the lock never covers
+  // a transfer.
+  mutable std::shared_mutex loc_mu_;
+  std::vector<Loc> loc_;                 // logical id -> placement
+  std::vector<uint64_t> free_list_;      // reusable logical ids
+  uint64_t allocated_ = 0;
+  Rng rng_;                              // placement randomness (seeded)
+  std::vector<uint32_t> cycle_;          // current disk permutation
+  size_t cycle_pos_ = 0;                 // next slot in cycle_
+  // Atomic because uncounted transfers may inspect it from engine
+  // workers while the owning thread allocates (which can clear it).
+  std::atomic<bool> valid_{true};
+};
+
+}  // namespace vem

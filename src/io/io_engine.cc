@@ -2,7 +2,8 @@
 
 namespace vem {
 
-IoEngine::IoEngine(size_t num_threads) {
+IoEngine::IoEngine(size_t num_threads, size_t disk_inflight_cap)
+    : disk_inflight_cap_(disk_inflight_cap == 0 ? 1 : disk_inflight_cap) {
   if (num_threads == 0) num_threads = 1;
   workers_.reserve(num_threads);
   for (size_t i = 0; i < num_threads; ++i) {
@@ -13,7 +14,7 @@ IoEngine::IoEngine(size_t num_threads) {
 IoEngine::~IoEngine() {
   {
     std::unique_lock<std::mutex> lock(mu_);
-    // Let workers drain the queue before exiting: unredeemed writes must
+    // Let workers drain the queues before exiting: unredeemed writes must
     // still reach the device even if the owner never called Wait.
     stop_ = true;
   }
@@ -21,35 +22,91 @@ IoEngine::~IoEngine() {
   for (auto& w : workers_) w.join();
 }
 
-IoEngine::Ticket IoEngine::Submit(std::function<Status()> op) {
+IoEngine::Ticket IoEngine::Submit(std::function<Status()> op, uint64_t disk) {
   Ticket t;
   {
     std::unique_lock<std::mutex> lock(mu_);
     t = next_ticket_++;
-    queue_.push_back(Job{t, std::move(op)});
+    if (disk == kNoDisk) {
+      queue_.push_back(Job{t, disk, std::move(op)});
+    } else {
+      disk_queues_[disk].queue.push_back(Job{t, disk, std::move(op)});
+    }
+    queued_count_++;
   }
   work_cv_.notify_one();
   return t;
 }
 
+bool IoEngine::Runnable() const {
+  if (!queue_.empty()) return true;
+  for (const auto& [disk, dq] : disk_queues_) {
+    if (!dq.queue.empty() && dq.in_flight < disk_inflight_cap_) return true;
+  }
+  return false;
+}
+
+bool IoEngine::PickJob(Job* out) {
+  if (!queue_.empty()) {
+    *out = std::move(queue_.front());
+    queue_.pop_front();
+    queued_count_--;
+    return true;
+  }
+  if (disk_queues_.empty()) return false;
+  // Round-robin: resume after the last disk served so D tagged streams
+  // drain evenly instead of the lowest tag monopolizing the workers.
+  auto start = disk_queues_.upper_bound(rr_disk_);
+  if (start == disk_queues_.end()) start = disk_queues_.begin();
+  auto it = start;
+  do {
+    DiskQueue& dq = it->second;
+    if (!dq.queue.empty() && dq.in_flight < disk_inflight_cap_) {
+      *out = std::move(dq.queue.front());
+      dq.queue.pop_front();
+      dq.in_flight++;
+      queued_count_--;
+      rr_disk_ = it->first;
+      return true;
+    }
+    ++it;
+    if (it == disk_queues_.end()) it = disk_queues_.begin();
+  } while (it != start);
+  return false;
+}
+
 Status IoEngine::Wait(Ticket t) {
   std::unique_lock<std::mutex> lock(mu_);
-  // Self-steal: if the awaited job is still queued (no worker free),
-  // execute it on this thread instead of idling. This keeps nested
-  // batches deadlock-free — a job running on a worker may itself
-  // RunBatch (a StripedDevice fill fanning out to its D children) and
-  // wait for its sub-jobs; even with every worker blocked in such a
-  // wait, each waiter runs its own sub-jobs, so the tree always makes
-  // progress. Only the caller's OWN ticket is stolen: running unrelated
-  // jobs here would stretch the wait past the ticket's completion and
-  // corrupt the prefetch governor's stall measurement around Wait.
+  // Self-steal: if the awaited job is still queued (no worker free, or
+  // its disk's heads are all busy), execute it on this thread instead of
+  // idling. This keeps nested batches deadlock-free — a job running on a
+  // worker may itself RunBatch (a striped or independent-disk fill
+  // fanning out to its children) and wait for its sub-jobs; even with
+  // every worker blocked in such a wait, each waiter runs its own
+  // sub-jobs, so the tree always makes progress. Only the caller's OWN
+  // ticket is stolen: running unrelated jobs here would stretch the wait
+  // past the ticket's completion and corrupt the prefetch governor's
+  // stall measurement around Wait. A stolen tagged job deliberately
+  // bypasses its in-flight cap (see header).
   for (auto it = queue_.begin(); it != queue_.end(); ++it) {
     if (it->ticket != t) continue;
     Job job = std::move(*it);
     queue_.erase(it);
+    queued_count_--;
     lock.unlock();
-    Status s = job.op();
-    return s;  // consumed directly; never enters done_
+    return job.op();
+  }
+  for (auto dit = disk_queues_.begin(); dit != disk_queues_.end(); ++dit) {
+    DiskQueue& dq = dit->second;
+    for (auto it = dq.queue.begin(); it != dq.queue.end(); ++it) {
+      if (it->ticket != t) continue;
+      Job job = std::move(*it);
+      dq.queue.erase(it);
+      queued_count_--;
+      if (dq.queue.empty() && dq.in_flight == 0) disk_queues_.erase(dit);
+      lock.unlock();
+      return job.op();
+    }
   }
   done_cv_.wait(lock, [this, t] { return done_.count(t) != 0; });
   auto it = done_.find(t);
@@ -58,13 +115,17 @@ Status IoEngine::Wait(Ticket t) {
   return s;
 }
 
-Status IoEngine::RunBatch(std::vector<std::function<Status()>> ops) {
+Status IoEngine::RunBatch(std::vector<std::function<Status()>> ops,
+                          const std::vector<uint64_t>& disks) {
   if (ops.empty()) return Status::OK();
   // Farm out all but the first op; run that one here so the caller's core
   // contributes instead of blocking.
   std::vector<Ticket> tickets;
   tickets.reserve(ops.size() - 1);
-  for (size_t i = 1; i < ops.size(); ++i) tickets.push_back(Submit(std::move(ops[i])));
+  for (size_t i = 1; i < ops.size(); ++i) {
+    uint64_t disk = i < disks.size() ? disks[i] : kNoDisk;
+    tickets.push_back(Submit(std::move(ops[i]), disk));
+  }
   Status first = ops[0]();
   for (Ticket t : tickets) {
     Status s = Wait(t);
@@ -73,21 +134,56 @@ Status IoEngine::RunBatch(std::vector<std::function<Status()>> ops) {
   return first;
 }
 
+size_t IoEngine::queued_jobs() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queued_count_;
+}
+
+size_t IoEngine::busy_workers() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return busy_workers_;
+}
+
+bool IoEngine::saturated() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return busy_workers_ >= workers_.size() && queued_count_ > 0;
+}
+
 void IoEngine::WorkerLoop() {
   for (;;) {
     Job job;
     {
       std::unique_lock<std::mutex> lock(mu_);
-      work_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
-      if (queue_.empty()) return;  // stop_ set and nothing left to drain
-      job = std::move(queue_.front());
-      queue_.pop_front();
+      // During shutdown, head-capped jobs must still drain: keep
+      // sleeping until one becomes runnable (a completion frees its
+      // head and re-signals) and exit only when nothing is left.
+      work_cv_.wait(
+          lock, [this] { return Runnable() || (stop_ && queued_count_ == 0); });
+      if (!PickJob(&job)) return;  // stop_ set and every queue empty
+      busy_workers_++;
     }
     Status s = job.op();
     {
       std::unique_lock<std::mutex> lock(mu_);
+      busy_workers_--;
+      if (job.disk != kNoDisk) {
+        // Drop a drained disk's queue entry: tags are device pointers,
+        // so a long-lived engine would otherwise accumulate (and scan,
+        // under the mutex) one dead entry per destroyed device — and a
+        // recycled allocation could alias a stale queue.
+        auto it = disk_queues_.find(job.disk);
+        it->second.in_flight--;
+        if (it->second.queue.empty() && it->second.in_flight == 0) {
+          disk_queues_.erase(it);
+        }
+      }
       done_[job.ticket] = std::move(s);
     }
+    // A finished tagged job frees a head: capped same-disk jobs may be
+    // runnable now, so wake the workers too. Untagged completions free
+    // nothing a sleeping worker could run (submission has its own
+    // notify), so skip the futile wakeups on that hot path.
+    if (job.disk != kNoDisk) work_cv_.notify_all();
     done_cv_.notify_all();
   }
 }

@@ -9,9 +9,26 @@
 //  - StripedDevice fans one logical transfer out to its D children, one
 //    job per child disk, and waits for all of them — one disk's wall-clock
 //    per parallel I/O step, exactly the PDM cost accounting;
+//  - IndependentDiskDevice fans a batch out as per-disk jobs tagged with
+//    the child disk, so the engine's per-disk queues keep one slow disk
+//    from head-blocking transfers bound for the others;
 //  - ExtVector Reader/Writer submit K-block read-ahead / write-behind
 //    windows and account the PDM cost in the consuming thread, so IoStats
 //    stay bit-identical to the synchronous path.
+//
+// Per-disk submission queues: a job may carry a disk tag (any caller-
+// chosen id; devices use the child device pointer). Tagged jobs queue
+// per disk and at most `disk_inflight_cap` jobs of one disk run on
+// workers at a time — the PDM's one-transfer-per-head rule made physical.
+// Untagged jobs keep the original single FIFO and are never capped.
+// Workers drain the untagged queue first, then round-robin across disk
+// queues with spare head capacity, so D tagged streams progress evenly.
+//
+// Saturation gauge: queued_jobs()/busy_workers()/saturated() expose
+// whether the worker pool is the bottleneck. The PrefetchGovernor and
+// MemoryArbiter consult saturated() before growing staging — more
+// read-ahead depth is useless when every worker is already busy and a
+// backlog is pending (the jobs would only queue deeper).
 //
 // Counting discipline: engine jobs must never touch IoStats. Physical
 // transfers issued speculatively are charged when (and only when) the
@@ -23,6 +40,7 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <map>
 #include <mutex>
 #include <thread>
 #include <unordered_map>
@@ -32,17 +50,22 @@
 
 namespace vem {
 
-/// Fixed-size worker pool with ticketed submit/wait.
+/// Fixed-size worker pool with ticketed submit/wait and per-disk queues.
 class IoEngine {
  public:
   /// Identifies one submitted job; pass to Wait() exactly once.
   using Ticket = uint64_t;
 
+  /// Disk tag for jobs outside any per-disk queue (the original FIFO).
+  static constexpr uint64_t kNoDisk = ~0ull;
+
   /// @param num_threads worker count; clamped to >= 1. A handful suffices:
   ///        workers spend their time blocked in pread/pwrite, not on CPU.
-  explicit IoEngine(size_t num_threads = 2);
+  /// @param disk_inflight_cap max concurrently-running jobs per disk tag;
+  ///        clamped to >= 1. One head per disk is the PDM rule.
+  explicit IoEngine(size_t num_threads = 2, size_t disk_inflight_cap = 1);
 
-  /// Drains the queue (waits for every submitted job) and joins workers.
+  /// Drains the queues (waits for every submitted job) and joins workers.
   ~IoEngine();
 
   IoEngine(const IoEngine&) = delete;
@@ -50,36 +73,72 @@ class IoEngine {
 
   /// Enqueue `op` for background execution. The closure must be safe to
   /// run on another thread and must not touch IoStats (see header note).
-  Ticket Submit(std::function<Status()> op);
+  /// `disk` != kNoDisk routes the job through that disk's queue and
+  /// in-flight cap.
+  Ticket Submit(std::function<Status()> op, uint64_t disk = kNoDisk);
 
   /// Block until the job behind `t` finishes; returns its Status. Each
   /// ticket is redeemable once (the result is consumed). If the job is
   /// still queued (no worker free), the waiter executes it itself
   /// (self-steal), so jobs may nest waits — e.g. a striped-device fill
   /// fanning out to its child disks via RunBatch — without deadlocking
-  /// the pool, and a wait never runs unrelated work.
+  /// the pool, and a wait never runs unrelated work. A stolen tagged job
+  /// bypasses its disk's in-flight cap: the waiter would otherwise sit
+  /// idle blocked on exactly this transfer, which is the synchronous
+  /// path's behavior anyway.
   Status Wait(Ticket t);
 
   /// Run `ops` with maximal concurrency and return the first error (all
   /// ops run to completion regardless). The calling thread executes one
   /// op itself instead of idling — with D jobs on D-1 busy workers this
-  /// still completes in one op's wall-clock time.
-  Status RunBatch(std::vector<std::function<Status()>> ops);
+  /// still completes in one op's wall-clock time. `disks`, when
+  /// non-empty, must parallel `ops` and tags each job's queue (the
+  /// caller-run op bypasses its cap, as in Wait's self-steal).
+  Status RunBatch(std::vector<std::function<Status()>> ops,
+                  const std::vector<uint64_t>& disks = {});
 
   size_t num_threads() const { return workers_.size(); }
+  size_t disk_inflight_cap() const { return disk_inflight_cap_; }
+
+  // ------------------------------------------------- saturation gauge
+  /// Jobs waiting in any queue (not yet picked up by a worker).
+  size_t queued_jobs() const;
+  /// Workers currently executing a job.
+  size_t busy_workers() const;
+  /// True when every worker is busy AND a backlog is pending: submitting
+  /// more background work only deepens the queues. The staging-growth
+  /// gate for PrefetchGovernor / MemoryArbiter.
+  bool saturated() const;
 
  private:
   void WorkerLoop();
 
   struct Job {
     Ticket ticket;
+    uint64_t disk;
     std::function<Status()> op;
   };
+  struct DiskQueue {
+    std::deque<Job> queue;
+    size_t in_flight = 0;
+  };
 
-  std::mutex mu_;
-  std::condition_variable work_cv_;  // signals workers: queue non-empty/stop
+  /// Pop the next runnable job under mu_: untagged FIFO first, then
+  /// round-robin over disk queues with in-flight < cap. False when
+  /// nothing is runnable (queues empty or every pending disk capped).
+  bool PickJob(Job* out);
+  /// Any job runnable right now (under mu_)?
+  bool Runnable() const;
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;  // signals workers: job runnable/stop
   std::condition_variable done_cv_;  // signals waiters: a job completed
-  std::deque<Job> queue_;
+  std::deque<Job> queue_;            // untagged jobs
+  std::map<uint64_t, DiskQueue> disk_queues_;
+  uint64_t rr_disk_ = 0;  // round-robin cursor: last disk served
+  size_t queued_count_ = 0;
+  size_t busy_workers_ = 0;
+  size_t disk_inflight_cap_;
   std::unordered_map<Ticket, Status> done_;
   Ticket next_ticket_ = 1;
   bool stop_ = false;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 
+#include "io/io_engine.h"
 #include "util/options.h"
 
 namespace vem {
@@ -60,6 +61,11 @@ size_t MemoryArbiter::GrantFromFree(size_t want) {
 void MemoryArbiter::ReleaseLease(size_t* charged) {
   charged_blocks_ -= *charged;
   *charged = 0;
+}
+
+void MemoryArbiter::AttachEngine(IoEngine* engine) {
+  std::lock_guard<std::mutex> lock(mu_);
+  engine_ = engine;
 }
 
 std::unique_ptr<PoolLease> MemoryArbiter::LeasePool(size_t frames) {
@@ -208,6 +214,14 @@ void MemoryArbiter::DoPoolConfirm(PoolLease* lease, size_t actual) {
 }
 
 size_t MemoryArbiter::DoStagingGrow(StagingLease* lease, size_t want) {
+  // Engine-saturation gate: stall evidence while every worker is busy
+  // with a backlog pending is queueing delay, not missing staging —
+  // granting blocks would deepen queues, not hide latency. Deny without
+  // arming pool-reclaim pressure (the pool is not at fault either).
+  if (engine_ != nullptr && engine_->saturated()) {
+    saturation_denied_grows_++;
+    return 0;
+  }
   // See DoPoolReport: new charge only for the part of the raise not
   // already covered by a revoked-but-still-charged lease.
   size_t target = lease->target_.load(std::memory_order_relaxed);
@@ -318,6 +332,10 @@ size_t MemoryArbiter::staging_sheds() const {
 size_t MemoryArbiter::denied_grows() const {
   std::lock_guard<std::mutex> lock(mu_);
   return denied_grows_;
+}
+size_t MemoryArbiter::saturation_denied_grows() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return saturation_denied_grows_;
 }
 
 // ----------------------------------------------------- ArbitratedMemory

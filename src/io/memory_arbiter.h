@@ -55,6 +55,7 @@
 namespace vem {
 
 struct Options;
+class IoEngine;
 class MemoryArbiter;
 
 /// One BufferPool's claim on M, in frames (= blocks). The pool reports
@@ -186,6 +187,14 @@ class MemoryArbiter {
   MemoryArbiter(const MemoryArbiter&) = delete;
   MemoryArbiter& operator=(const MemoryArbiter&) = delete;
 
+  /// Engine-saturation gate: with an engine attached, staging grow
+  /// requests are denied while every worker is busy and a backlog is
+  /// pending — granting more staging memory cannot help when the
+  /// workers, not the depth, are the bottleneck, and the denied memory
+  /// stays available to the cache side. The engine must outlive this
+  /// arbiter.
+  void AttachEngine(IoEngine* engine);
+
   /// Lease `frames` frames (clamped to free headroom) to a BufferPool.
   /// The arbiter must outlive the lease. Never returns null.
   std::unique_ptr<PoolLease> LeasePool(size_t frames);
@@ -204,6 +213,7 @@ class MemoryArbiter {
   size_t staging_grows() const;   ///< staging targets raised
   size_t staging_sheds() const;   ///< staging targets lowered
   size_t denied_grows() const;    ///< grow requests with no headroom
+  size_t saturation_denied_grows() const;  ///< grows denied: engine busy
 
   uint64_t now_ns() const { return clock_(); }
 
@@ -229,6 +239,7 @@ class MemoryArbiter {
   Config cfg_;
   Clock clock_;
   mutable std::mutex mu_;
+  IoEngine* engine_ = nullptr;  // optional saturation gate (not owned)
   size_t total_blocks_;
   size_t charged_blocks_ = 0;
   // Live leases of each kind; revocation picks the victim showing the
@@ -245,6 +256,7 @@ class MemoryArbiter {
   size_t staging_grows_ = 0;
   size_t staging_sheds_ = 0;
   size_t denied_grows_ = 0;
+  size_t saturation_denied_grows_ = 0;
 };
 
 /// Convenience bundle: one machine memory built from Options — arbiter,
@@ -259,6 +271,13 @@ class ArbitratedMemory {
   ~ArbitratedMemory();
   ArbitratedMemory(const ArbitratedMemory&) = delete;
   ArbitratedMemory& operator=(const ArbitratedMemory&) = delete;
+
+  /// Forward the engine-saturation signal to both the arbiter and the
+  /// governor (call after attaching the engine to the device).
+  void AttachEngine(IoEngine* engine) {
+    arbiter_.AttachEngine(engine);
+    governor_.AttachEngine(engine);
+  }
 
   MemoryArbiter* arbiter() { return &arbiter_; }
   BufferPool* pool() { return &pool_; }

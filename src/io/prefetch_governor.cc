@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 
+#include "io/io_engine.h"
 #include "io/memory_arbiter.h"
 #include "util/options.h"
 
@@ -37,6 +38,11 @@ void PrefetchGovernor::AttachArbiter(MemoryArbiter* arb) {
   cfg_.budget_blocks = staging_lease_->target_blocks();
 }
 
+void PrefetchGovernor::AttachEngine(IoEngine* engine) {
+  std::lock_guard<std::mutex> lock(mu_);
+  engine_ = engine;
+}
+
 size_t PrefetchGovernor::ReconcileBudget() {
   if (staging_lease_ != nullptr) {
     cfg_.budget_blocks = staging_lease_->target_blocks();
@@ -66,7 +72,7 @@ PrefetchGovernor::Config PrefetchGovernor::ConfigFromOptions(
 }
 
 std::unique_ptr<PrefetchGovernor::Lease> PrefetchGovernor::Arm(
-    size_t requested_depth) {
+    size_t requested_depth, uint64_t route) {
   std::lock_guard<std::mutex> lock(mu_);
   ReconcileBudget();  // adopt a renegotiated staging lease, if any
   size_t grant = std::clamp(requested_depth, cfg_.min_depth, cfg_.max_depth);
@@ -77,19 +83,28 @@ std::unique_ptr<PrefetchGovernor::Lease> PrefetchGovernor::Arm(
   // stalling — the short-lived-stream-on-a-warm-cache shape where the
   // fixed arming cost can never pay off. Either way a deterministic
   // probe every Nth refusal keeps sampling for a phase change back to
-  // stall-bound.
-  bool wasteful_history =
-      have_history_ && waste_ewma_ > cfg_.waste_disarm_ewma;
-  bool futile_history = have_lease_history_ &&
-                        lease_windows_ewma_ < double(cfg_.adapt_windows) &&
-                        stall_ewma_ < cfg_.stall_benefit_floor;
+  // stall-bound. Each route is judged solely on its own history (one
+  // disk's wasteful phase must not disarm the other heads); unrouted
+  // traffic all lands in route 0, whose history is the device-global
+  // shape of old. A fresh route arms optimistically and earns its own
+  // record — initial_depth keeps that experiment cheap.
+  RouteState& rs = routes_[route];
+  double waste = rs.waste_ewma;
+  bool have_waste = rs.have_history;
+  double stall = rs.stall_ewma;
+  double windows = rs.lease_windows_ewma;
+  bool have_lease = rs.have_lease_history;
+  bool wasteful_history = have_waste && waste > cfg_.waste_disarm_ewma;
+  bool futile_history = have_lease &&
+                        windows < double(cfg_.adapt_windows) &&
+                        stall < cfg_.stall_benefit_floor;
   bool probing = false;
   if (grant > 0 && (wasteful_history || futile_history)) {
-    if (refusals_since_probe_ + 1 >= cfg_.probe_every) {
+    if (rs.refusals_since_probe + 1 >= cfg_.probe_every) {
       grant = cfg_.min_depth;
       probing = true;
     } else {
-      refusals_since_probe_++;
+      rs.refusals_since_probe++;
       grant = 0;
     }
   }
@@ -105,7 +120,7 @@ std::unique_ptr<PrefetchGovernor::Lease> PrefetchGovernor::Arm(
   // A probe only counts once it survives the budget gate; a probe
   // swallowed by exhausted headroom leaves the counter primed so the
   // very next arm probes again.
-  if (probing && grant > 0) refusals_since_probe_ = 0;
+  if (probing && grant > 0) rs.refusals_since_probe = 0;
   if (grant > 0) {
     staged_blocks_ += 2 * grant;
     arms_granted_++;
@@ -117,13 +132,14 @@ std::unique_ptr<PrefetchGovernor::Lease> PrefetchGovernor::Arm(
   // must not read as idle (reclaimable) to the other side.
   PushUsage();
   auto lease = std::unique_ptr<Lease>(new Lease(this, grant));
+  lease->route_ = route;
   // Engine advisory at birth: when recent leases never stalled, fresh
   // arms (probes included) start with inline coalesced fills — no
   // engine round-trip per window. Streams shorter than an adaptation
   // period would otherwise pay the handoff for their whole life before
   // the per-lease advisory could act. A stall observed inline flips the
   // engine on mid-lease (Adapt) and raises stall_ewma_ for successors.
-  if (have_lease_history_ && stall_ewma_ < cfg_.stall_benefit_floor) {
+  if (have_lease && stall < cfg_.stall_benefit_floor) {
     lease->use_engine_ = false;
   }
   return lease;
@@ -179,6 +195,14 @@ void PrefetchGovernor::Adapt(Lease* lease) {
       shrink_decisions_++;
     }
   } else if (depth > 0 && lease->stalled_windows_ * 2 >= lease->windows_ &&
+             lease->stalled_windows_ > 0 && engine_ != nullptr &&
+             engine_->saturated()) {
+    // Stall evidence, but every engine worker is busy with a backlog
+    // pending: the stalls are queueing delay, not insufficient depth —
+    // deeper windows would only queue more. Hold depth and let the
+    // next period re-evaluate once the workers drain.
+    saturation_skips_++;
+  } else if (depth > 0 && lease->stalled_windows_ * 2 >= lease->windows_ &&
              lease->stalled_windows_ > 0) {
     // The consumer keeps catching up with the fill: latency is not yet
     // hidden, so deepen the window as far as ceiling and budget allow.
@@ -225,7 +249,7 @@ void PrefetchGovernor::Adapt(Lease* lease) {
       lease->use_engine_ = false;
     }
   }
-  FoldHistory(lease->consumed_blocks_, lease->unused_blocks_);
+  FoldHistory(lease->consumed_blocks_, lease->unused_blocks_, lease->route_);
   PushUsage();
   lease->windows_ = 0;
   lease->stalled_windows_ = 0;
@@ -233,12 +257,16 @@ void PrefetchGovernor::Adapt(Lease* lease) {
   lease->unused_blocks_ = 0;
 }
 
-void PrefetchGovernor::FoldHistory(size_t consumed, size_t unused) {
+void PrefetchGovernor::FoldHistory(size_t consumed, size_t unused,
+                                   uint64_t route) {
   size_t staged = consumed + unused;
   if (staged == 0) return;
   double waste = static_cast<double>(unused) / static_cast<double>(staged);
   waste_ewma_ = have_history_ ? 0.5 * waste_ewma_ + 0.5 * waste : waste;
   have_history_ = true;
+  RouteState& rs = routes_[route];
+  rs.waste_ewma = rs.have_history ? 0.5 * rs.waste_ewma + 0.5 * waste : waste;
+  rs.have_history = true;
 }
 
 void PrefetchGovernor::Close(Lease* lease) {
@@ -248,7 +276,7 @@ void PrefetchGovernor::Close(Lease* lease) {
   // most important history of all: that is exactly the short-lived
   // shape the governor exists to stop re-arming. Fold its waste AND its
   // lifetime shape (length in windows, whether overlap ever helped).
-  FoldHistory(lease->consumed_blocks_, lease->unused_blocks_);
+  FoldHistory(lease->consumed_blocks_, lease->unused_blocks_, lease->route_);
   // Leases that never reported a window carry no shape evidence (the
   // stream moved nothing; its arming cost was trivial too).
   if (lease->lifetime_windows_ > 0) {
@@ -261,6 +289,15 @@ void PrefetchGovernor::Close(Lease* lease) {
       lease_windows_ewma_ = wins;
       stall_ewma_ = stalled;
       have_lease_history_ = true;
+    }
+    RouteState& rs = routes_[lease->route_];
+    if (rs.have_lease_history) {
+      rs.lease_windows_ewma = 0.5 * rs.lease_windows_ewma + 0.5 * wins;
+      rs.stall_ewma = 0.5 * rs.stall_ewma + 0.5 * stalled;
+    } else {
+      rs.lease_windows_ewma = wins;
+      rs.stall_ewma = stalled;
+      rs.have_lease_history = true;
     }
   }
   PushUsage();
@@ -308,6 +345,19 @@ double PrefetchGovernor::stall_ewma() const {
 double PrefetchGovernor::lease_windows_ewma() const {
   std::lock_guard<std::mutex> lock(mu_);
   return lease_windows_ewma_;
+}
+size_t PrefetchGovernor::saturation_skips() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return saturation_skips_;
+}
+PrefetchGovernor::RouteShape PrefetchGovernor::route_shape(
+    uint64_t route) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = routes_.find(route);
+  if (it == routes_.end()) return RouteShape{};
+  const RouteState& rs = it->second;
+  return RouteShape{rs.waste_ewma, rs.stall_ewma, rs.lease_windows_ewma,
+                    rs.have_history, rs.have_lease_history};
 }
 
 }  // namespace vem

@@ -42,12 +42,14 @@
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <memory>
 #include <mutex>
 
 namespace vem {
 
 struct Options;
+class IoEngine;
 class MemoryArbiter;
 class StagingLease;
 
@@ -123,6 +125,14 @@ class PrefetchGovernor {
   /// outlive this governor.
   void AttachArbiter(MemoryArbiter* arb);
 
+  /// Engine-saturation gate: with an engine attached, depth grows are
+  /// refused while every worker is busy and a backlog is pending —
+  /// deeper windows only lengthen the queues when the workers are the
+  /// bottleneck, and the stall evidence that wanted the grow is the
+  /// queue's fault, not the depth's. The engine must outlive this
+  /// governor. Never affects IoStats (depth is a wall-clock knob).
+  void AttachEngine(IoEngine* engine);
+
   /// One stream's claim on staging memory. Destroying the lease releases
   /// its budget and folds its waste history into the governor. The
   /// governor must outlive every lease it issued.
@@ -163,6 +173,7 @@ class PrefetchGovernor {
 
     PrefetchGovernor* gov_;
     size_t depth_;
+    uint64_t route_ = 0;  // placement route (per-disk history bucket)
     // Current adaptation period (lease-local; consumer thread only —
     // Adapt runs inside this lease's own ReportWindow call).
     size_t windows_ = 0;
@@ -181,7 +192,16 @@ class PrefetchGovernor {
   /// windows. The grant is clamped to [min_depth, max_depth], shrunk to
   /// what the budget allows, and may be 0 (history of waste or budget
   /// exhausted) — callers run synchronous then. Never returns null.
-  std::unique_ptr<Lease> Arm(size_t requested_depth);
+  ///
+  /// `route` buckets the lease's waste/stall history: streams pass their
+  /// device's PrefetchRoute (per-disk on an IndependentDiskDevice), so a
+  /// wasteful phase on one disk stops arming only that disk's streams —
+  /// the other heads keep their depth. Each route is judged solely on
+  /// its own record: a route with no history yet arms optimistically
+  /// (initial_depth keeps that experiment cheap) and earns its own
+  /// shape. 0 is the unrouted bucket — all pre-existing devices land
+  /// there, so their behavior is unchanged.
+  std::unique_ptr<Lease> Arm(size_t requested_depth, uint64_t route = 0);
 
   // ------------------------------------------------------ introspection
   size_t budget_blocks() const;    ///< current staging budget (may track
@@ -195,6 +215,17 @@ class PrefetchGovernor {
   double waste_ewma() const;       ///< global staged-unused history [0,1]
   double stall_ewma() const;       ///< fraction of recent leases that stalled
   double lease_windows_ewma() const;  ///< typical lease lifetime (windows)
+  size_t saturation_skips() const; ///< grows refused: engine saturated
+
+  /// Per-route history shape (tests, benches). Zeroes for an unseen route.
+  struct RouteShape {
+    double waste_ewma = 0.0;
+    double stall_ewma = 0.0;
+    double lease_windows_ewma = 0.0;
+    bool have_history = false;
+    bool have_lease_history = false;
+  };
+  RouteShape route_shape(uint64_t route) const;
 
   uint64_t now_ns() const { return clock_(); }
 
@@ -208,27 +239,40 @@ class PrefetchGovernor {
   /// Adaptation decision for one lease's completed period; called with
   /// the period counters, under mu_.
   void Adapt(Lease* lease);
-  /// Fold a finished period's waste fraction into the global EWMA.
-  void FoldHistory(size_t consumed, size_t unused);
+  /// Fold a finished period's waste fraction into the global EWMA and
+  /// the lease's route history.
+  void FoldHistory(size_t consumed, size_t unused, uint64_t route);
   /// Release a lease's staging and absorb its unfinished period.
   void Close(Lease* lease);
+
+  /// Per-route history (same formulas as the global EWMAs, bucketed).
+  struct RouteState {
+    double waste_ewma = 0.0;
+    double stall_ewma = 0.0;
+    double lease_windows_ewma = 0.0;
+    bool have_history = false;
+    bool have_lease_history = false;
+    size_t refusals_since_probe = 0;
+  };
 
   Config cfg_;
   Clock clock_;
   mutable std::mutex mu_;
   std::unique_ptr<StagingLease> staging_lease_;  // null = fixed budget
+  IoEngine* engine_ = nullptr;  // optional saturation gate (not owned)
   size_t staged_blocks_ = 0;
   size_t arms_granted_ = 0;
   size_t arms_refused_ = 0;
   size_t grow_decisions_ = 0;
   size_t shrink_decisions_ = 0;
   size_t disarm_decisions_ = 0;
-  size_t refusals_since_probe_ = 0;
+  size_t saturation_skips_ = 0;
   double waste_ewma_ = 0.0;
   double stall_ewma_ = 0.0;
   double lease_windows_ewma_ = 0.0;
   bool have_history_ = false;
   bool have_lease_history_ = false;
+  std::map<uint64_t, RouteState> routes_;
 };
 
 }  // namespace vem

@@ -40,13 +40,18 @@ Status StripedDevice::ParallelStep(const std::function<Status(size_t)>& op) {
   }
   // One job per disk; each touches only its own child device, so the
   // children's counters see single-threaded traffic. RunBatch returns
-  // after every stripe lands: the step is atomic to the caller.
+  // after every stripe lands: the step is atomic to the caller. Jobs are
+  // disk-tagged (child pointer) so the engine's per-disk queues keep
+  // concurrent striped steps from stacking two transfers on one head.
   std::vector<std::function<Status()>> jobs;
+  std::vector<uint64_t> tags;
   jobs.reserve(disks_.size());
+  tags.reserve(disks_.size());
   for (size_t d = 0; d < disks_.size(); ++d) {
     jobs.push_back([&op, d] { return op(d); });
+    tags.push_back(reinterpret_cast<uintptr_t>(disks_[d].get()));
   }
-  return engine_->RunBatch(std::move(jobs));
+  return engine_->RunBatch(std::move(jobs), tags);
 }
 
 bool StripedDevice::SupportsUncounted() const {

@@ -44,8 +44,13 @@ class DistributionSorter {
   /// stream (0 = synchronous, the default). The per-bucket scatter writers
   /// stay synchronous on purpose: ~2k+1 of them are open at once and each
   /// armed writer stages 2K extra blocks, which would multiply the memory
-  /// budget the fan-out was sized against. Never changes IoStats —
-  /// accounting is deferred to consumption time (see block_device.h).
+  /// budget the fan-out was sized against. On an IndependentDiskDevice
+  /// every one of these streams arms with a per-disk-routed lease (the
+  /// Reader tags its governor lease with the placement route of its first
+  /// block), so the PrefetchGovernor accumulates per-disk stall/waste
+  /// evidence: a slow or wasteful disk disarms only its own streams.
+  /// Never changes IoStats — accounting is deferred to consumption time
+  /// (see block_device.h).
   void set_prefetch_depth(size_t k) { prefetch_depth_ = k; }
 
   /// Sort `input` into empty `output` on the same device.

@@ -15,6 +15,7 @@
 
 #include "core/ext_vector.h"
 #include "io/block_device.h"
+#include "sort/forecast_merge.h"
 #include "sort/loser_tree.h"
 #include "util/status.h"
 
@@ -82,6 +83,17 @@ class ExternalSorter {
   /// run reader/writer leases its depth from the global staging budget
   /// and the merge refills grow or shed depth adaptively.
   void set_prefetch_depth(size_t k) { prefetch_depth_ = k; }
+
+  /// Forecast-scheduled merge refills (sort/forecast_merge.h): run
+  /// readers are replaced by whole-block refill waves — the empty run's
+  /// next block plus the next block of the most-urgent other runs
+  /// (smallest buffered last key), one per distinct disk. On an
+  /// IndependentDiskDevice each wave is ONE parallel read step, which is
+  /// the independent-disk sorting schedule the survey credits with
+  /// beating striping; on a single disk waves degenerate to one block
+  /// and costs match the plain merge. Block reads/writes are unchanged
+  /// either way. Off by default.
+  void set_forecast_merge(bool on) { forecast_merge_ = on; }
 
   /// Sort `input` into `output`. `output` must be an empty vector on the
   /// same device. The input is not modified.
@@ -225,6 +237,17 @@ class ExternalSorter {
       group.push_back(std::move(runs->front()));
       runs->pop_front();
     }
+    if (forecast_merge_) {
+      std::vector<const ExtVector<T>*> srcs;
+      srcs.reserve(take);
+      for (const auto& run : group) srcs.push_back(&run);
+      typename ExtVector<T>::Writer writer(out, stream_depth());
+      ForecastMerger<T, Cmp> merger(dev_, cmp_);
+      VEM_RETURN_IF_ERROR(merger.Merge(srcs, &writer));
+      VEM_RETURN_IF_ERROR(writer.Finish());
+      for (auto& run : group) run.Destroy();
+      return Status::OK();
+    }
     std::vector<typename ExtVector<T>::Reader> readers;
     readers.reserve(take);
     for (auto& run : group) readers.emplace_back(&run, 0, stream_depth());
@@ -266,6 +289,7 @@ class ExternalSorter {
   size_t fan_in_cap_ = ~size_t{0};
   size_t run_length_cap_ = ~size_t{0};
   bool replacement_selection_ = false;
+  bool forecast_merge_ = false;
   size_t prefetch_depth_ = 0;
 };
 

@@ -39,6 +39,20 @@ struct Options {
   /// pread/pwrite rather than compute.
   size_t io_threads = 2;
 
+  /// Per-disk in-flight cap for disk-tagged IoEngine jobs: at most this
+  /// many jobs tagged with the same disk run on workers concurrently,
+  /// modeling one head per independent disk (IndependentDiskDevice tags
+  /// its per-disk fan-out). 1 is the PDM's one-transfer-per-head rule;
+  /// untagged jobs are never capped.
+  size_t disk_inflight_cap = 1;
+
+  /// Seed for randomized block placement on IndependentDiskDevice
+  /// (randomized cycling: each cycle of D consecutive allocations lands
+  /// on a fresh random permutation of the disks). Same seed + same
+  /// allocation sequence = same placement, so multi-run experiments and
+  /// stats-identity tests are reproducible.
+  uint64_t placement_seed = 0x9E3779B97F4A7C15ull;
+
   /// Global staging budget for the adaptive PrefetchGovernor, in bytes.
   /// 0 (the default) derives it as memory_budget / 2 — read-ahead staging
   /// competes with the algorithm's working set for M, so depth must be
