@@ -21,6 +21,7 @@
 // Emits BENCH_independent_disks.json at the repo root. --smoke runs a
 // reduced sweep and exits non-zero unless every row keeps
 // stats_identical == 1 and armed speedup >= 0.95 — the CI gate.
+#include <algorithm>
 #include <chrono>
 #include <functional>
 #include <memory>
@@ -32,6 +33,7 @@
 #include "io/file_block_device.h"
 #include "io/independent_disk_device.h"
 #include "io/io_engine.h"
+#include "io/io_ring.h"
 #include "io/striped_device.h"
 #include "sort/external_sort.h"
 #include "util/options.h"
@@ -250,8 +252,22 @@ bool ChildStatsIdentical(const Cell& a, const Cell& b) {
   return true;
 }
 
+/// Sync-vs-armed identity under the write-wave contract. Reads and every
+/// byte/block counter must match bit-for-bit — arming never changes what
+/// moves. parallel_writes is depth-DEPENDENT by design: grouped
+/// write-behind charges one step per wave of distinct disks, and the
+/// flush-group boundaries set the wave packing, so the armed run may
+/// charge FEWER write steps than the per-block sync run (never more).
+/// Children stay fully identical either way — waves are a parent-level
+/// charge; each child still counts its own blocks one at a time.
 bool RowIdentical(const Row& r) {
-  return r.sync.cost == r.armed.cost && ChildStatsIdentical(r.sync, r.armed);
+  const IoStats& s = r.sync.cost;
+  const IoStats& a = r.armed.cost;
+  return s.block_reads == a.block_reads && s.block_writes == a.block_writes &&
+         s.bytes_read == a.bytes_read && s.bytes_written == a.bytes_written &&
+         s.parallel_reads == a.parallel_reads &&
+         a.parallel_writes <= s.parallel_writes &&
+         ChildStatsIdentical(r.sync, r.armed);
 }
 
 enum class Kind { kSort, kRandomReads };
@@ -360,9 +376,11 @@ void CountedComparison() {
       "physical block moved (block ratio > 1 favors independent disks);\n"
       "the forecast merge keeps fan-in m and batches its refill reads at\n"
       "~D blocks per parallel step. Raw parallel-step counts still favor\n"
-      "striping on this metric because streamed writes charge one step\n"
-      "per B-byte block on independent disks (the write path makes no\n"
-      "batching promise) vs one step per D*B logical block when striped.\n\n");
+      "striping on this metric because these runs are unarmed: per-block\n"
+      "streamed writes charge one step per B-byte block on independent\n"
+      "disks vs one step per D*B logical block when striped. Armed\n"
+      "(grouped) write-behind closes that gap through AccountWriteBatch —\n"
+      "one step per wave of distinct disks — see the wall-clock rows.\n\n");
 }
 
 }  // namespace
@@ -480,8 +498,64 @@ int main(int argc, char** argv) {
       "Expected shape: independent placement keeps fan-in M/B, so where\n"
       "striping's M/(D*B) forces an extra pass the independent sort moves\n"
       "fewer blocks AND fewer parallel steps — the survey's gap, on real\n"
-      "files. Stats identical between sync and armed independent runs:\n"
-      "the forecast schedule is transport-invariant.\n");
+      "files. Stats identical between sync and armed independent runs\n"
+      "(armed parallel_writes may only drop: grouped write-behind packs\n"
+      "waves): the forecast schedule is transport-invariant.\n");
+  // ------------------------------------------------- transport backends
+  const bool uring_ok = IoRing::CompiledIn() && IoRing::KernelSupported();
+  report.Add("backend", "io_uring_compiled_in",
+             IoRing::CompiledIn() ? 1.0 : 0.0);
+  report.Add("backend", "io_uring_kernel_supported",
+             IoRing::KernelSupported() ? 1.0 : 0.0);
+  if (uring_ok) {
+    IoEngine ur_engine(4, opts.disk_inflight_cap, IoBackend::kIoUring);
+    report.Add("backend", "active_backend_io_uring",
+               ur_engine.backend() == IoBackend::kIoUring ? 1.0 : 0.0);
+    std::printf(
+        "\n## Transport backends on the armed D=4 batched random reads:\n"
+        "## worker-pool preadv per child vs io_uring SQE batching\n\n");
+    Table bt({"configuration", "worker-pool s", "io_uring s",
+              "io_uring speedup", "stats identical"});
+    for (bool direct : {false, true}) {
+      // Paired best-of-N like MeasureRow: both transports measured
+      // back-to-back per repeat; an identity violation always wins.
+      Cell wp, ur;
+      bool identical = true;
+      double best = -1;
+      for (int rep = 0; rep < repeats; ++rep) {
+        Cell w = IndependentRandomReads(4, direct, /*armed=*/true, &engine);
+        Cell u = IndependentRandomReads(4, direct, /*armed=*/true, &ur_engine);
+        if (!(w.cost == u.cost && ChildStatsIdentical(w, u))) {
+          wp = w;
+          ur = u;
+          identical = false;
+          break;
+        }
+        double sp = w.seconds / std::max(u.seconds, 1e-9);
+        if (sp > best) {
+          best = sp;
+          wp = w;
+          ur = u;
+        }
+      }
+      all_identical = all_identical && identical;
+      double speedup = wp.seconds / std::max(ur.seconds, 1e-9);
+      std::string name = std::string("backend random reads D=4 ") +
+                         (direct ? "O_DIRECT" : "buffered");
+      bt.AddRow({name, Fmt(wp.seconds, 3), Fmt(ur.seconds, 3),
+                 Fmt(speedup, 2) + "x", identical ? "yes" : "NO (BUG)"});
+      report.Add(name, "worker_pool_seconds", wp.seconds);
+      report.Add(name, "io_uring_seconds", ur.seconds);
+      report.Add(name, "io_uring_speedup", speedup);
+      report.Add(name, "stats_identical", identical ? 1.0 : 0.0);
+      report.Add(name, "direct_io_active", ur.direct_active ? 1.0 : 0.0);
+    }
+    bt.Print();
+  } else {
+    report.Add("backend", "active_backend_io_uring", 0.0);
+    std::printf("\nio_uring unavailable: backend rows skipped\n");
+  }
+
   if (!all_identical) {
     std::printf("ERROR: armed path changed IoStats — cost model violated\n");
   }

@@ -321,9 +321,11 @@ class ExtVector {
     }
 
     /// Hand the staged group to the device as one vectored write. Blocks
-    /// are allocated and charged here — the identical totals the per-block
-    /// synchronous writer reaches, in one syscall and (with an engine)
-    /// off the caller's critical path.
+    /// are allocated and charged here via AccountWriteBatch — the
+    /// identical totals the device's counted WriteBatch of this group
+    /// would record (wave-packed parallel steps on independent disks) —
+    /// in one syscall and (with an engine) off the caller's critical
+    /// path.
     Status FlushGroup(bool final_flush) {
       BlockDevice* dev = vec_->dev_;
       const size_t bs = dev->block_size();
@@ -344,8 +346,14 @@ class ExtVector {
         vec_->blocks_.push_back(g.ids[b]);
       }
       IoEngine* engine = dev->io_engine();
+      // Depth consult: a saturated engine (no idle worker, jobs queued)
+      // would only queue this flight behind everyone else's; flushing
+      // inline costs the same wall-clock without growing the backlog.
+      // Accounting is identical on both paths, so this is a pure
+      // scheduling choice.
       if (engine != nullptr && dev->SupportsAsync() && !final_flush &&
-          (lease_ == nullptr || lease_->use_engine())) {
+          (lease_ == nullptr || lease_->use_engine()) &&
+          engine->Headroom() > 0.0) {
         g.ticket = engine->Submit(
             [dev, ids = g.ids.data(), ptrs = g.ptrs.data(), nblks] {
               return dev->WriteBatchUncounted(ids, ptrs, nblks);
@@ -375,7 +383,7 @@ class ExtVector {
           VEM_RETURN_IF_ERROR(
               dev->WriteBatchUncounted(g.ids.data(), g.ptrs.data(), nblks));
         }
-        dev->AccountWriteIds(g.ids.data(), nblks);
+        dev->AccountWriteBatch(g.ids.data(), nblks);
         if (!final_flush) {
           ApplyLeaseDepth();
           if (g.cap != depth_) {
@@ -401,9 +409,10 @@ class ExtVector {
 
     /// Wait out group `i`'s flight (if any) and charge its blocks on
     /// success — only writes that physically landed are charged, the
-    /// exact totals the per-block synchronous writer reaches even when a
-    /// device error cuts the stream short. Blocking on an in-flight
-    /// write is the write-behind stall signal the governor grows on.
+    /// exact totals the counted WriteBatch of this group would have
+    /// recorded even when a device error cuts the stream short. Blocking
+    /// on an in-flight write is the write-behind stall signal the
+    /// governor grows on.
     Status SettleGroup(int i) {
       IoWindow<const void*>& g = grp_[i];
       Status s;
@@ -417,7 +426,7 @@ class ExtVector {
       if (s.ok() && pending_charge_[i] > 0) {
         // g.ids still holds exactly this flight's ids (reused only
         // after the next FlushGroup resizes it).
-        vec_->dev_->AccountWriteIds(g.ids.data(), pending_charge_[i]);
+        vec_->dev_->AccountWriteBatch(g.ids.data(), pending_charge_[i]);
       }
       pending_charge_[i] = 0;
       return s;
@@ -672,8 +681,13 @@ class ExtVector {
       w.ptrs.resize(w.nblks);
       for (size_t i = 0; i < w.nblks; ++i) w.ptrs[i] = w.data.get() + i * bs;
       IoEngine* engine = dev->io_engine();
+      // Depth consult (mirrors the Writer): submit to a saturated engine
+      // and the fill just queues behind the backlog — the inline path is
+      // no slower and adds no queue pressure. Accounting is identical
+      // either way.
       if (engine != nullptr && dev->SupportsAsync() &&
-          (lease_ == nullptr || lease_->use_engine())) {
+          (lease_ == nullptr || lease_->use_engine()) &&
+          engine->Headroom() > 0.0) {
         w.ticket = engine->Submit(
             [dev, ids = w.ids.data(), ptrs = w.ptrs.data(), n = w.nblks] {
               return dev->ReadBatchUncounted(ids, ptrs, n);

@@ -170,10 +170,24 @@ class BlockDevice {
   }
 
   /// AccountWriteIds mirrors the per-block Write loop (n blocks, n
-  /// steps) with child routing — the charge an armed write-behind stream
-  /// must record to stay bit-identical with its synchronous twin, which
-  /// writes block by block.
+  /// steps) with child routing — the charge a per-block consumer (the
+  /// buffer pool's ghost flushes) must record to stay bit-identical
+  /// with its synchronous twin, which writes block by block.
   virtual void AccountWriteIds(const uint64_t* ids, uint64_t blocks) {
+    (void)ids;
+    AccountWrites(blocks);
+  }
+
+  /// AccountWriteBatch mirrors what the counted WriteBatch(ids, ., n)
+  /// of this device would have charged — the write-side dual of
+  /// AccountReadBatch. On an independent-disk device that is n block
+  /// writes but one PDM parallel step per wave of distinct disks, so a
+  /// grouped write-behind stream (ExtVector::Writer flushes whole
+  /// K-block groups) is credited the scatter win randomized cycling
+  /// earns. Single-disk and striped devices charge exactly the id-less
+  /// form, so only devices with per-block placement diverge from the
+  /// per-block loop.
+  virtual void AccountWriteBatch(const uint64_t* ids, uint64_t blocks) {
     (void)ids;
     AccountWrites(blocks);
   }
@@ -213,8 +227,13 @@ class BlockDevice {
 
   /// Optional worker pool for background transfers. Not owned; must
   /// outlive all I/O on this device. Null means fully synchronous.
+  /// Virtual so composite devices (StripedDevice, IndependentDiskDevice)
+  /// can forward the engine to the children that execute the physical
+  /// transfers — the child is what picks a transport (worker thread vs
+  /// the engine's io_uring ring) — and label their disk tags with stable
+  /// routes for depth-aware grant shaping.
   IoEngine* io_engine() const { return engine_; }
-  void set_io_engine(IoEngine* engine) { engine_ = engine; }
+  virtual void set_io_engine(IoEngine* engine) { engine_ = engine; }
 
   /// Optional staging-memory governor. When attached, streams on this
   /// device lease their read-ahead/write-behind depth from it instead of

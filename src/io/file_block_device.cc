@@ -9,6 +9,11 @@
 #include <cstdint>
 #include <cstdlib>
 #include <cstring>
+#include <deque>
+#include <vector>
+
+#include "io/io_engine.h"
+#include "io/io_ring.h"
 
 namespace vem {
 
@@ -52,6 +57,12 @@ struct AlignedBuffer {
     return ::posix_memalign(&p, kIoMemAlign, bytes) == 0;
   }
 };
+
+// Persistent O_DIRECT bounce staging registered with the engine's ring:
+// big enough for a deep prefetch wave (256 blocks at the default B), so
+// the common bounce path hits the pinned registered buffer instead of
+// get_user_pages on a fresh allocation per transfer.
+constexpr size_t kRingStagingBytes = 1u << 20;
 }  // namespace
 
 FileBlockDevice::FileBlockDevice(std::string path, size_t block_size,
@@ -101,6 +112,12 @@ FileBlockDevice::FileBlockDevice(std::string path, size_t block_size,
 }
 
 FileBlockDevice::~FileBlockDevice() {
+  if (ring_registered_ != nullptr) {
+    // The ring (and its engine) must still be alive here — see the header
+    // contract: a registered device is destroyed before its engine.
+    if (ring_fd_slot_ >= 0) ring_registered_->UnregisterFd(ring_fd_slot_);
+    if (ring_buf_slot_ >= 0) ring_registered_->UnregisterBuffer(ring_buf_slot_);
+  }
   if (fd_ >= 0) {
     // Durability before close: without the barrier, timings that end at
     // destruction can be flattered by data still sitting in the drive's
@@ -324,6 +341,11 @@ Status FileBlockDevice::VectoredTransfer(const uint64_t* ids,
                                          void* const* bufs, size_t n,
                                          bool write, bool counted) {
   if (fd_ < 0) return Status::IOError("device not open: " + path_);
+  if (n == 0) return Status::OK();
+  IoRing* ring = engine_ != nullptr ? engine_->ring() : nullptr;
+  if (ring != nullptr) {
+    return VectoredTransferRing(ring, ids, bufs, n, write, counted);
+  }
   const uint64_t bound = next_id_.load(std::memory_order_acquire);
   size_t i = 0;
   while (i < n) {
@@ -355,6 +377,254 @@ Status FileBlockDevice::VectoredTransfer(const uint64_t* ids,
     i += len;
   }
   return Status::OK();
+}
+
+void FileBlockDevice::EnsureRingRegistration(IoRing* ring) {
+  std::lock_guard<std::mutex> lk(ring_mu_);
+  if (ring_registered_ == ring) return;
+  if (ring_registered_ != nullptr) {
+    if (ring_fd_slot_ >= 0) ring_registered_->UnregisterFd(ring_fd_slot_);
+    if (ring_buf_slot_ >= 0) ring_registered_->UnregisterBuffer(ring_buf_slot_);
+    ring_fd_slot_ = -1;
+    ring_buf_slot_ = -1;
+  }
+  ring_registered_ = ring;
+  ring_fd_slot_ = ring->RegisterFd(fd_);
+  if (direct_io_active_) {
+    if (!ring_staging_) {
+      ring_staging_ = AllocIoBuffer(kRingStagingBytes);
+      ring_staging_bytes_ = ring_staging_ ? kRingStagingBytes : 0;
+    }
+    if (ring_staging_) {
+      ring_buf_slot_ =
+          ring->RegisterBuffer(ring_staging_.get(), ring_staging_bytes_);
+    }
+  }
+}
+
+Status FileBlockDevice::VectoredTransferRing(IoRing* ring, const uint64_t* ids,
+                                             void* const* bufs, size_t n,
+                                             bool write, bool counted) {
+  EnsureRingRegistration(ring);
+  const uint64_t bound = next_id_.load(std::memory_order_acquire);
+
+  // Pass 1: split the batch into coalesced runs exactly like the worker
+  // path. An unallocated id ends the valid prefix; the runs before it
+  // still transfer and charge (the sequential loop would have issued
+  // them before hitting the bad id), then the precheck error returns.
+  struct RingRun {
+    size_t first = 0;     // index into ids/bufs
+    uint64_t first_id = 0;
+    size_t nblocks = 0;
+    size_t total = 0;     // bytes
+    size_t done = 0;
+    size_t completed_blocks = 0;
+    bool finished = false;
+    Status error = Status::OK();
+    // Direct-mode target: user memory (in_place), a slice of the
+    // registered staging buffer (buf_index >= 0), or a per-call bounce.
+    bool in_place = false;
+    char* target = nullptr;
+    int buf_index = -1;
+    size_t iov_off = 0;  // buffered: first iovec in the arena
+  };
+  std::vector<RingRun> runs;
+  Status precheck = Status::OK();
+  size_t valid_blocks = 0;
+  {
+    size_t i = 0;
+    while (i < n) {
+      if (ids[i] >= bound) {
+        precheck = Status::InvalidArgument(
+            std::string(write ? "write" : "read") + " of unallocated block " +
+            std::to_string(ids[i]));
+        break;
+      }
+      size_t len = 1;
+      while (i + len < n && len < kMaxIov && ids[i + len] == ids[i] + len &&
+             ids[i + len] < bound) {
+        len++;
+      }
+      RingRun r;
+      r.first = i;
+      r.first_id = ids[i];
+      r.nblocks = len;
+      r.total = len * block_size_;
+      runs.push_back(r);
+      valid_blocks += len;
+      i += len;
+    }
+  }
+  if (runs.empty()) return precheck;
+
+  // Pass 2: stage targets. Buffered runs get iovecs over user memory;
+  // direct runs transfer in place when contiguous-aligned, else bounce —
+  // preferring a slice of the registered staging buffer (one contender
+  // at a time; others fall back to per-call aligned allocations).
+  std::vector<struct iovec> iov_arena;
+  std::deque<AlignedBuffer> bounces;
+  std::unique_lock<std::mutex> staging_lock(staging_mu_, std::defer_lock);
+  char* staging = nullptr;
+  size_t staging_left = 0;
+  size_t staging_off = 0;
+  if (direct_io_active_) {
+    if (ring_buf_slot_ >= 0 && staging_lock.try_lock()) {
+      staging = ring_staging_.get();
+      staging_left = ring_staging_bytes_;
+    }
+  } else {
+    iov_arena.resize(valid_blocks);
+  }
+  size_t next_iov = 0;
+  for (RingRun& r : runs) {
+    if (!direct_io_active_) {
+      r.iov_off = next_iov;
+      next_iov += r.nblocks;
+      for (size_t k = 0; k < r.nblocks; ++k) {
+        iov_arena[r.iov_off + k].iov_base = bufs[r.first + k];
+        iov_arena[r.iov_off + k].iov_len = block_size_;
+      }
+      continue;
+    }
+    if (ContiguousAligned(bufs + r.first, r.nblocks, block_size_)) {
+      r.in_place = true;
+      r.target = static_cast<char*>(bufs[r.first]);
+    } else if (staging != nullptr && r.total <= staging_left) {
+      r.target = staging + staging_off;
+      r.buf_index = ring_buf_slot_;
+      staging_off += r.total;
+      staging_left -= r.total;
+    } else {
+      bounces.emplace_back();
+      if (!bounces.back().Alloc(r.total)) {
+        return Status::IOError("posix_memalign failed for direct I/O bounce");
+      }
+      r.target = static_cast<char*>(bounces.back().p);
+    }
+    if (write && !r.in_place) {
+      for (size_t k = 0; k < r.nblocks; ++k) {
+        std::memcpy(r.target + k * block_size_, bufs[r.first + k],
+                    block_size_);
+      }
+    }
+  }
+
+  // Pass 3: submit every unfinished run as one SQE, all runs in one
+  // io_uring_enter, and resume shorts until each run is terminal. EOF
+  // and partial-transfer rules match TransferRun/TransferRunDirect.
+  std::vector<IoRing::Op> ops;
+  std::vector<size_t> op_run;
+  bool pending = true;
+  while (pending) {
+    pending = false;
+    ops.clear();
+    op_run.clear();
+    for (size_t ri = 0; ri < runs.size(); ++ri) {
+      RingRun& r = runs[ri];
+      if (r.finished || !r.error.ok()) continue;
+      IoRing::Op op;
+      op.fd = fd_;
+      op.fixed_fd = ring_fd_slot_;
+      op.write = write;
+      op.offset = r.first_id * block_size_ + r.done;
+      if (direct_io_active_) {
+        op.buf = r.target + r.done;
+        op.len = r.total - r.done;
+        op.buf_index = r.buf_index;
+      } else {
+        // Rebuild the head iovec for the resume offset; earlier entries
+        // of this run's arena slice are fully consumed and never reused.
+        size_t skip_iov = r.done / block_size_;
+        size_t skip_bytes = r.done % block_size_;
+        iov_arena[r.iov_off + skip_iov].iov_base =
+            static_cast<char*>(bufs[r.first + skip_iov]) + skip_bytes;
+        iov_arena[r.iov_off + skip_iov].iov_len = block_size_ - skip_bytes;
+        op.iov = iov_arena.data() + r.iov_off + skip_iov;
+        op.iovcnt = static_cast<unsigned>(r.nblocks - skip_iov);
+      }
+      ops.push_back(op);
+      op_run.push_back(ri);
+    }
+    if (ops.empty()) break;
+    Status s = ring->SubmitAndWait(ops.data(), ops.size());
+    if (!s.ok()) {
+      // Submission itself failed: every in-flight run is charged for what
+      // it had already completed, and the batch reports the ring error.
+      for (size_t oi = 0; oi < ops.size(); ++oi) {
+        RingRun& r = runs[op_run[oi]];
+        r.completed_blocks = r.done / block_size_;
+        r.error = s;
+      }
+      break;
+    }
+    for (size_t oi = 0; oi < ops.size(); ++oi) {
+      RingRun& r = runs[op_run[oi]];
+      ssize_t res = ops[oi].res;
+      if (res == -EINTR || res == -EAGAIN) {
+        pending = true;  // retry from the same offset
+        continue;
+      }
+      if (res < 0) {
+        r.completed_blocks = r.done / block_size_;
+        r.error = Status::IOError(
+            std::string(write ? "ring write" : "ring read") +
+            " failed: " + std::strerror(static_cast<int>(-res)));
+        continue;
+      }
+      if (res == 0) {
+        if (write) {
+          r.completed_blocks = r.done / block_size_;
+          r.error = Status::IOError("ring write wrote nothing");
+          continue;
+        }
+        // EOF on read: the remainder is allocated-but-unwritten space.
+        if (direct_io_active_) {
+          std::memset(r.target + r.done, 0, r.total - r.done);
+        } else {
+          for (size_t k = r.done / block_size_; k < r.nblocks; ++k) {
+            size_t start = (k == r.done / block_size_) ? r.done % block_size_
+                                                       : 0;
+            std::memset(static_cast<char*>(bufs[r.first + k]) + start, 0,
+                        block_size_ - start);
+          }
+        }
+        r.finished = true;
+        r.completed_blocks = r.nblocks;
+        continue;
+      }
+      r.done += static_cast<size_t>(res);
+      if (r.done >= r.total) {
+        r.finished = true;
+        r.completed_blocks = r.nblocks;
+      } else {
+        pending = true;
+      }
+    }
+  }
+
+  // Pass 4: deliver direct-mode bounce reads, charge, and report. Charge
+  // per run in batch order (counted plane only), exactly the sequential
+  // loop's per-run AccountWrites/AccountReads; the first failed run's
+  // status wins, then the precheck error for the invalid tail.
+  Status fail = Status::OK();
+  for (RingRun& r : runs) {
+    if (direct_io_active_ && !write && !r.in_place) {
+      for (size_t k = 0; k < r.completed_blocks; ++k) {
+        std::memcpy(bufs[r.first + k], r.target + k * block_size_,
+                    block_size_);
+      }
+    }
+    if (counted && r.completed_blocks > 0) {
+      if (write) {
+        AccountWrites(r.completed_blocks);
+      } else {
+        AccountReads(r.completed_blocks);
+      }
+    }
+    if (fail.ok() && !r.error.ok()) fail = r.error;
+  }
+  if (!fail.ok()) return fail;
+  return precheck;
 }
 
 Status FileBlockDevice::ReadBatch(const uint64_t* ids, void* const* bufs,

@@ -25,9 +25,21 @@
 // multiple of 512, the device silently falls back to buffered I/O —
 // direct_io_active() reports the outcome. Accounting and the zero-fill
 // EOF contract are identical in both modes.
+//
+// io_uring transport: when the attached IoEngine runs the ring backend
+// (Options::io_backend = kIoUring), the batch entry points route through
+// the engine's IoRing instead of preadv/pwritev — one SQE per coalesced
+// run, all runs of a batch submitted together, so non-contiguous deep
+// batches (random reads, forecast waves) are serviced concurrently by the
+// kernel. The device registers its fd with the ring on first use and, in
+// direct mode, a persistent page-aligned staging buffer as a registered
+// buffer for bounce transfers. Runs, charging, EOF zero-fill, and bounce
+// semantics are bit-identical to the worker path. A device that
+// registered with a ring must be destroyed before that engine.
 #pragma once
 
 #include <atomic>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -35,6 +47,8 @@
 #include "util/options.h"
 
 namespace vem {
+
+class IoRing;
 
 /// Disk blocks stored in a single file; block id -> byte offset id*B.
 class FileBlockDevice final : public BlockDevice {
@@ -117,6 +131,17 @@ class FileBlockDevice final : public BlockDevice {
                            size_t nblocks, bool write,
                            size_t* blocks_completed);
 
+  /// VectoredTransfer over the engine's io_uring: same run splitting,
+  /// bounds checks, charging, and EOF contract, but every run of the
+  /// batch becomes one SQE and the batch submits with one enter. Short
+  /// transfers are resumed per run until complete or error.
+  Status VectoredTransferRing(IoRing* ring, const uint64_t* ids,
+                              void* const* bufs, size_t n, bool write,
+                              bool counted);
+  /// Register fd_ (and, in direct mode, the persistent staging buffer)
+  /// with `ring` once; cheap no-op afterwards.
+  void EnsureRingRegistration(IoRing* ring);
+
   std::string path_;
   size_t block_size_;
   bool unlink_on_close_;
@@ -128,6 +153,19 @@ class FileBlockDevice final : public BlockDevice {
   std::atomic<uint64_t> next_id_{0};
   std::vector<uint64_t> free_list_;
   uint64_t allocated_ = 0;
+
+  // io_uring transport state. ring_mu_ guards (re)registration; the slots
+  // are stable between registrations, so transfer paths read them after
+  // EnsureRingRegistration without the lock. staging_mu_ serializes use
+  // of the registered direct-I/O staging buffer across engine workers —
+  // contenders fall back to per-call bounce allocation.
+  std::mutex ring_mu_;
+  IoRing* ring_registered_ = nullptr;
+  int ring_fd_slot_ = -1;
+  IoBuffer ring_staging_;
+  size_t ring_staging_bytes_ = 0;
+  int ring_buf_slot_ = -1;
+  std::mutex staging_mu_;
 };
 
 }  // namespace vem

@@ -214,10 +214,13 @@ Status IndependentDiskDevice::WriteBatch(const uint64_t* ids,
   if (n == 0) return Status::OK();
   VEM_RETURN_IF_ERROR(FanOut(ids, const_cast<void* const*>(bufs), n,
                              /*write=*/true, /*counted=*/true));
-  // Per-block step charging (see header): write identity is anchored to
-  // the per-block Write loop the armed write-behind streams mirror.
+  // Independent-head charging, same rule as ReadBatch: every block
+  // counted, one parallel step per wave of distinct disks. Randomized
+  // cycling makes any D consecutive allocations a full wave, so grouped
+  // write-behind scatters at the same D-way rate forecast reads gather.
+  uint64_t waves = CountWaves(ids, n);
   stats_.block_writes += n;
-  stats_.parallel_writes += n;
+  stats_.parallel_writes += waves;
   stats_.bytes_written += n * block_size_;
   return Status::OK();
 }
@@ -330,6 +333,46 @@ void IndependentDiskDevice::AccountWriteIds(const uint64_t* ids,
   stats_.block_writes += blocks;
   stats_.parallel_writes += blocks;
   stats_.bytes_written += blocks * block_size_;
+}
+
+void IndependentDiskDevice::AccountWriteBatch(const uint64_t* ids,
+                                              uint64_t blocks) {
+  // Mirror of the counted WriteBatch, structured like AccountReadBatch:
+  // one-block fast path, then per-child charges under the shared lock
+  // with wave-packed parallel steps on the parent. CountWaves first —
+  // nested shared-lock acquisition could deadlock against a pending
+  // writer.
+  if (blocks == 1) {
+    Loc l;
+    if (Lookup(ids[0], &l)) disks_[l.disk]->AccountWrites(1);
+    stats_.block_writes++;
+    stats_.parallel_writes++;
+    stats_.bytes_written += block_size_;
+    return;
+  }
+  uint64_t waves = CountWaves(ids, blocks);
+  {
+    std::shared_lock<std::shared_mutex> lock(loc_mu_);
+    for (uint64_t i = 0; i < blocks; ++i) {
+      if (ids[i] < loc_.size()) disks_[loc_[ids[i]].disk]->AccountWrites(1);
+    }
+  }
+  stats_.block_writes += blocks;
+  stats_.parallel_writes += waves;
+  stats_.bytes_written += blocks * block_size_;
+}
+
+void IndependentDiskDevice::set_io_engine(IoEngine* engine) {
+  BlockDevice::set_io_engine(engine);
+  for (size_t d = 0; d < disks_.size(); ++d) {
+    disks_[d]->set_io_engine(engine);
+    if (engine != nullptr) {
+      // The child pointer is the disk tag FanOut and EngineDiskTag use;
+      // disk + 1 is the PrefetchRoute of every block it holds.
+      engine->LabelDisk(reinterpret_cast<uintptr_t>(disks_[d].get()),
+                        uint64_t{d} + 1);
+    }
+  }
 }
 
 uint64_t IndependentDiskDevice::PrefetchRoute(uint64_t block_id) const {

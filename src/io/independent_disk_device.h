@@ -24,10 +24,12 @@
 //    like a single disk — independence only pays when the algorithm
 //    actually issues multi-block requests, which is the PDM's rule that
 //    the cost model prices algorithmic access patterns. The forecast
-//    merge (sort/forecast_merge.h) is the algorithmic side of this
-//    bargain. Counted writes keep per-block steps: the write streams'
-//    armed/sync identity contract is anchored to the per-block Write
-//    loop (see AccountWriteIds in block_device.h).
+//    merge (sort/forecast_merge.h) is the algorithmic side of the read
+//    bargain; grouped write-behind (ExtVector::Writer flushing whole
+//    K-block groups through WriteBatch / AccountWriteBatch) is the
+//    write side. The per-block AccountWriteIds form remains for
+//    consumers whose identity anchor is the block-by-block Write loop
+//    (the buffer pool's ghost flushes).
 //
 // Engine integration: every per-disk fan-out (counted batches and the
 // uncounted plane) is submitted as one job per disk, tagged with the
@@ -85,8 +87,9 @@ class IndependentDiskDevice final : public BlockDevice {
   /// transfers, but parallel steps = the number of waves the greedy
   /// in-order packing needs (a wave ends when a disk would repeat).
   /// Transfers fan out as one child batch per disk — engine-parallel,
-  /// disk-tagged jobs when an engine is attached. Writes charge
-  /// per-block steps (see file comment).
+  /// disk-tagged jobs when an engine is attached. Both directions
+  /// charge waves; per-block consumers keep per-block steps because
+  /// they call Read/Write one block at a time.
   Status ReadBatch(const uint64_t* ids, void* const* bufs, size_t n) override;
   Status WriteBatch(const uint64_t* ids, const void* const* bufs,
                     size_t n) override;
@@ -112,6 +115,13 @@ class IndependentDiskDevice final : public BlockDevice {
   void AccountWrites(uint64_t blocks) override;
   void AccountReadBatch(const uint64_t* ids, uint64_t blocks) override;
   void AccountWriteIds(const uint64_t* ids, uint64_t blocks) override;
+  void AccountWriteBatch(const uint64_t* ids, uint64_t blocks) override;
+
+  /// Forwards the engine to every child (children execute the physical
+  /// transfers, so the child is what picks the submission transport) and
+  /// labels each child's disk tag with its governor route (disk + 1) so
+  /// the engine's per-disk depth gauge answers RouteHeadroom queries.
+  void set_io_engine(IoEngine* engine) override;
 
   /// Per-disk lease routing for the PrefetchGovernor: disk index + 1
   /// (route 0 stays the unrouted bucket).

@@ -1,9 +1,35 @@
 #include "io/io_engine.h"
 
+#include <chrono>
+
+#include "io/io_ring.h"
+
 namespace vem {
 
-IoEngine::IoEngine(size_t num_threads, size_t disk_inflight_cap)
+namespace {
+// SQ slots for the ring backend: comfortably above the largest coalesced
+// batch a single job produces (FileBlockDevice caps runs at 512 iovecs),
+// so one job's runs submit with one io_uring_enter.
+constexpr unsigned kRingEntries = 256;
+
+uint64_t SteadyNowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+}  // namespace
+
+IoEngine::IoEngine(size_t num_threads, size_t disk_inflight_cap,
+                   IoBackend backend)
     : disk_inflight_cap_(disk_inflight_cap == 0 ? 1 : disk_inflight_cap) {
+  if (backend == IoBackend::kIoUring) {
+    // Runtime fallback: a missing kernel (or a seccomp filter, or a build
+    // without the header) leaves ring_ null and the engine indistinguishable
+    // from a worker-pool one — same contract, same accounting.
+    ring_ = IoRing::Create(kRingEntries);
+    backend_ = ring_ != nullptr ? IoBackend::kIoUring : IoBackend::kWorkerPool;
+  }
   if (num_threads == 0) num_threads = 1;
   workers_.reserve(num_threads);
   for (size_t i = 0; i < num_threads; ++i) {
@@ -22,6 +48,17 @@ IoEngine::~IoEngine() {
   for (auto& w : workers_) w.join();
 }
 
+void IoEngine::NotePushed(uint64_t disk, const DiskQueue& dq) {
+  if (dq.queue.size() == 1) {
+    nonempty_disk_queues_++;
+    last_nonempty_disk_ = disk;
+  }
+}
+
+void IoEngine::NotePopped(const DiskQueue& dq) {
+  if (dq.queue.empty()) nonempty_disk_queues_--;
+}
+
 IoEngine::Ticket IoEngine::Submit(std::function<Status()> op, uint64_t disk) {
   Ticket t;
   {
@@ -30,7 +67,9 @@ IoEngine::Ticket IoEngine::Submit(std::function<Status()> op, uint64_t disk) {
     if (disk == kNoDisk) {
       queue_.push_back(Job{t, disk, std::move(op)});
     } else {
-      disk_queues_[disk].queue.push_back(Job{t, disk, std::move(op)});
+      DiskQueue& dq = disk_queues_[disk];
+      dq.queue.push_back(Job{t, disk, std::move(op)});
+      NotePushed(disk, dq);
     }
     queued_count_++;
   }
@@ -40,6 +79,7 @@ IoEngine::Ticket IoEngine::Submit(std::function<Status()> op, uint64_t disk) {
 
 bool IoEngine::Runnable() const {
   if (!queue_.empty()) return true;
+  if (nonempty_disk_queues_ == 0) return false;
   for (const auto& [disk, dq] : disk_queues_) {
     if (!dq.queue.empty() && dq.in_flight < disk_inflight_cap_) return true;
   }
@@ -53,7 +93,7 @@ bool IoEngine::PickJob(Job* out) {
     queued_count_--;
     return true;
   }
-  if (disk_queues_.empty()) return false;
+  if (nonempty_disk_queues_ == 0) return false;
   // Round-robin: resume after the last disk served so D tagged streams
   // drain evenly instead of the lowest tag monopolizing the workers.
   auto start = disk_queues_.upper_bound(rr_disk_);
@@ -64,6 +104,7 @@ bool IoEngine::PickJob(Job* out) {
     if (!dq.queue.empty() && dq.in_flight < disk_inflight_cap_) {
       *out = std::move(dq.queue.front());
       dq.queue.pop_front();
+      NotePopped(dq);
       dq.in_flight++;
       queued_count_--;
       rr_disk_ = it->first;
@@ -96,16 +137,47 @@ Status IoEngine::Wait(Ticket t) {
     lock.unlock();
     return job.op();
   }
-  for (auto dit = disk_queues_.begin(); dit != disk_queues_.end(); ++dit) {
-    DiskQueue& dq = dit->second;
-    for (auto it = dq.queue.begin(); it != dq.queue.end(); ++it) {
-      if (it->ticket != t) continue;
-      Job job = std::move(*it);
-      dq.queue.erase(it);
-      queued_count_--;
-      if (dq.queue.empty() && dq.in_flight == 0) disk_queues_.erase(dit);
-      lock.unlock();
-      return job.op();
+  // The tagged scan is O(1) in the common cases: skipped outright when no
+  // disk queue holds a pending job, and narrowed to the one hot queue
+  // when exactly one does (a single device streaming — the dominant
+  // shape). Only with 2+ backlogged disks does it walk the map.
+  if (nonempty_disk_queues_ > 0) {
+    auto dit = disk_queues_.end();
+    if (nonempty_disk_queues_ == 1) {
+      dit = disk_queues_.find(last_nonempty_disk_);
+      if (dit == disk_queues_.end() || dit->second.queue.empty()) {
+        // The cached tag drained (its pusher was another queue since
+        // emptied); refresh it with a one-off scan.
+        for (dit = disk_queues_.begin(); dit != disk_queues_.end(); ++dit) {
+          if (!dit->second.queue.empty()) break;
+        }
+        if (dit != disk_queues_.end()) last_nonempty_disk_ = dit->first;
+      }
+    }
+    auto scan_one = [&](std::map<uint64_t, DiskQueue>::iterator qit,
+                        Status* out) {
+      DiskQueue& dq = qit->second;
+      for (auto it = dq.queue.begin(); it != dq.queue.end(); ++it) {
+        if (it->ticket != t) continue;
+        Job job = std::move(*it);
+        dq.queue.erase(it);
+        NotePopped(dq);
+        queued_count_--;
+        if (dq.queue.empty() && dq.in_flight == 0) disk_queues_.erase(qit);
+        lock.unlock();
+        *out = job.op();
+        return true;
+      }
+      return false;
+    };
+    Status stolen;
+    if (dit != disk_queues_.end()) {
+      if (scan_one(dit, &stolen)) return stolen;
+    } else {
+      for (dit = disk_queues_.begin(); dit != disk_queues_.end(); ++dit) {
+        if (dit->second.queue.empty()) continue;
+        if (scan_one(dit, &stolen)) return stolen;
+      }
     }
   }
   done_cv_.wait(lock, [this, t] { return done_.count(t) != 0; });
@@ -149,6 +221,76 @@ bool IoEngine::saturated() const {
   return busy_workers_ >= workers_.size() && queued_count_ > 0;
 }
 
+double IoEngine::HeadroomLocked() const {
+  const size_t w = workers_.size();
+  if (busy_workers_ < w) {
+    return static_cast<double>(w - busy_workers_) / static_cast<double>(w);
+  }
+  // Every worker busy: zero headroom once a backlog queues (the old
+  // saturated() bit), a small floor otherwise — the next submit waits,
+  // but only for one job's tail.
+  return queued_count_ > 0 ? 0.0 : 1.0 / static_cast<double>(1 + w);
+}
+
+double IoEngine::DiskHeadroomLocked(uint64_t disk_tag) const {
+  double engine = HeadroomLocked();
+  auto it = disk_queues_.find(disk_tag);
+  if (it == disk_queues_.end()) return engine;  // idle head
+  const DiskQueue& dq = it->second;
+  const size_t depth = dq.queue.size() + dq.in_flight;
+  const size_t cap = disk_inflight_cap_;
+  double disk;
+  if (depth < cap) {
+    disk = static_cast<double>(cap - depth) / static_cast<double>(cap);
+  } else {
+    // At or past the head's cap: 1/2 with an exactly-full pipeline, then
+    // harmonically down per queued job. Never a hard 0 — one job waiting
+    // behind a busy head is normal pipelining, not saturation; the whole-
+    // engine term supplies the hard floor when the pool itself backs up.
+    disk = 1.0 / static_cast<double>(2 + (depth - cap));
+  }
+  return disk < engine ? disk : engine;
+}
+
+double IoEngine::Headroom() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return HeadroomLocked();
+}
+
+size_t IoEngine::DiskDepth(uint64_t disk_tag) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = disk_queues_.find(disk_tag);
+  if (it == disk_queues_.end()) return 0;
+  return it->second.queue.size() + it->second.in_flight;
+}
+
+double IoEngine::DiskHeadroom(uint64_t disk_tag) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return DiskHeadroomLocked(disk_tag);
+}
+
+double IoEngine::DiskServiceRateNs(uint64_t disk_tag) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = disk_queues_.find(disk_tag);
+  if (it == disk_queues_.end()) return 0.0;
+  return it->second.ewma_service_ns;
+}
+
+void IoEngine::LabelDisk(uint64_t disk_tag, uint64_t route) {
+  if (route == 0) return;  // route 0 is the whole-engine bucket
+  std::lock_guard<std::mutex> lock(mu_);
+  route_tags_[route] = disk_tag;
+}
+
+double IoEngine::RouteHeadroom(uint64_t route) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (route != 0) {
+    auto it = route_tags_.find(route);
+    if (it != route_tags_.end()) return DiskHeadroomLocked(it->second);
+  }
+  return HeadroomLocked();
+}
+
 void IoEngine::WorkerLoop() {
   for (;;) {
     Job job;
@@ -162,17 +304,24 @@ void IoEngine::WorkerLoop() {
       if (!PickJob(&job)) return;  // stop_ set and every queue empty
       busy_workers_++;
     }
+    const bool tagged = job.disk != kNoDisk;
+    const uint64_t began_ns = tagged ? SteadyNowNs() : 0;
     Status s = job.op();
     {
       std::unique_lock<std::mutex> lock(mu_);
       busy_workers_--;
-      if (job.disk != kNoDisk) {
+      if (tagged) {
         // Drop a drained disk's queue entry: tags are device pointers,
         // so a long-lived engine would otherwise accumulate (and scan,
         // under the mutex) one dead entry per destroyed device — and a
         // recycled allocation could alias a stale queue.
         auto it = disk_queues_.find(job.disk);
         it->second.in_flight--;
+        const double took = static_cast<double>(SteadyNowNs() - began_ns);
+        it->second.ewma_service_ns =
+            it->second.ewma_service_ns == 0.0
+                ? took
+                : 0.75 * it->second.ewma_service_ns + 0.25 * took;
         if (it->second.queue.empty() && it->second.in_flight == 0) {
           disk_queues_.erase(it);
         }
@@ -183,7 +332,7 @@ void IoEngine::WorkerLoop() {
     // runnable now, so wake the workers too. Untagged completions free
     // nothing a sleeping worker could run (submission has its own
     // notify), so skip the futile wakeups on that hot path.
-    if (job.disk != kNoDisk) work_cv_.notify_all();
+    if (tagged) work_cv_.notify_all();
     done_cv_.notify_all();
   }
 }

@@ -24,11 +24,28 @@
 // Workers drain the untagged queue first, then round-robin across disk
 // queues with spare head capacity, so D tagged streams progress evenly.
 //
-// Saturation gauge: queued_jobs()/busy_workers()/saturated() expose
-// whether the worker pool is the bottleneck. The PrefetchGovernor and
-// MemoryArbiter consult saturated() before growing staging — more
-// read-ahead depth is useless when every worker is already busy and a
-// backlog is pending (the jobs would only queue deeper).
+// Submission backends (Options::io_backend): the worker pool above is the
+// compiled-in default. With IoBackend::kIoUring the pool still executes
+// jobs — the Submit/Wait/self-steal contract, per-disk caps, and both
+// accounting planes are untouched — but FileBlockDevice transfers inside
+// those jobs route through a per-engine io_uring ring (io_ring.h): one
+// SQE per coalesced run, batched submission, registered fds, so a deep
+// batch of non-contiguous runs is serviced concurrently by the kernel
+// instead of sequentially by one worker. disk_inflight_cap bounds the
+// concurrent SQE batches per disk, the ring's SQE budget per head. When
+// the kernel lacks io_uring (or the build does), construction silently
+// degrades to the worker pool — backend() reports the outcome.
+//
+// Depth gauge: the boolean saturation bit of PR 5 is now derived from a
+// per-disk queue-depth gauge. Headroom() / DiskHeadroom(tag) report the
+// fraction of submission capacity still open (1 = idle, 0 = every worker
+// busy with a backlog pending); DiskDepth/DiskServiceRateNs expose the
+// raw per-queue depth and an EWMA of job service time. PrefetchGovernor
+// and MemoryArbiter consult the gauge through the DepthGauge interface to
+// SHAPE staging grants proportionally to headroom (not just refuse them),
+// and ExtVector streams consult it before submitting fills. LabelDisk
+// lets multi-head devices name their queues by prefetch route, so the
+// governor's per-route leases read the headroom of their own disk.
 //
 // Counting discipline: engine jobs must never touch IoStats. Physical
 // transfers issued speculatively are charged when (and only when) the
@@ -41,17 +58,32 @@
 #include <deque>
 #include <functional>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <unordered_map>
 #include <vector>
 
+#include "util/options.h"
 #include "util/status.h"
 
 namespace vem {
 
-/// Fixed-size worker pool with ticketed submit/wait and per-disk queues.
-class IoEngine {
+class IoRing;
+
+/// Read-only view of submission headroom, keyed by prefetch route. The
+/// IoEngine is the production implementation; tests inject fakes so
+/// governor shaping is deterministic. 1.0 = idle, 0.0 = saturated
+/// (growing staging cannot help). Route 0 = the whole engine.
+class DepthGauge {
+ public:
+  virtual ~DepthGauge() = default;
+  virtual double RouteHeadroom(uint64_t route) const = 0;
+};
+
+/// Fixed-size worker pool with ticketed submit/wait, per-disk queues,
+/// and an optional io_uring transport underneath.
+class IoEngine : public DepthGauge {
  public:
   /// Identifies one submitted job; pass to Wait() exactly once.
   using Ticket = uint64_t;
@@ -63,10 +95,17 @@ class IoEngine {
   ///        workers spend their time blocked in pread/pwrite, not on CPU.
   /// @param disk_inflight_cap max concurrently-running jobs per disk tag;
   ///        clamped to >= 1. One head per disk is the PDM rule.
-  explicit IoEngine(size_t num_threads = 2, size_t disk_inflight_cap = 1);
+  /// @param backend requested submission backend; kIoUring degrades to
+  ///        the worker pool when the ring cannot be built (see backend()).
+  explicit IoEngine(size_t num_threads = 2, size_t disk_inflight_cap = 1,
+                    IoBackend backend = IoBackend::kWorkerPool);
+
+  /// Convenience: thread count, per-disk cap, and backend from Options.
+  explicit IoEngine(const Options& opts)
+      : IoEngine(opts.io_threads, opts.disk_inflight_cap, opts.io_backend) {}
 
   /// Drains the queues (waits for every submitted job) and joins workers.
-  ~IoEngine();
+  ~IoEngine() override;
 
   IoEngine(const IoEngine&) = delete;
   IoEngine& operator=(const IoEngine&) = delete;
@@ -100,15 +139,54 @@ class IoEngine {
   size_t num_threads() const { return workers_.size(); }
   size_t disk_inflight_cap() const { return disk_inflight_cap_; }
 
-  // ------------------------------------------------- saturation gauge
+  /// Backend actually in force: the request, downgraded to kWorkerPool
+  /// when ring creation failed at construction (runtime fallback).
+  IoBackend backend() const { return backend_; }
+
+  /// The submission ring, or null on the worker-pool backend. Devices
+  /// route their transfers through it; they must not outlive the engine
+  /// once they register fds/buffers.
+  IoRing* ring() const { return ring_.get(); }
+
+  // ------------------------------------------------------- depth gauge
   /// Jobs waiting in any queue (not yet picked up by a worker).
   size_t queued_jobs() const;
   /// Workers currently executing a job.
   size_t busy_workers() const;
   /// True when every worker is busy AND a backlog is pending: submitting
-  /// more background work only deepens the queues. The staging-growth
-  /// gate for PrefetchGovernor / MemoryArbiter.
+  /// more background work only deepens the queues. Equivalent to
+  /// Headroom() == 0 — kept as the legacy boolean view of the gauge.
   bool saturated() const;
+
+  /// Whole-engine submission headroom in [0, 1]: the free-worker
+  /// fraction, 0.0 exactly when saturated() (all busy + backlog), and a
+  /// small nonzero floor when all workers are busy but nothing queues
+  /// (the next submit waits, briefly).
+  double Headroom() const;
+
+  /// Queue depth of one disk tag: jobs queued plus in flight. 0 for an
+  /// idle (or unknown) tag.
+  size_t DiskDepth(uint64_t disk_tag) const;
+
+  /// Per-disk headroom in [0, 1], never exceeding the whole-engine
+  /// headroom: (cap - depth)/cap while the head has spare capacity, then
+  /// 1/(2 + backlog) as jobs queue behind the cap — proportional, so the
+  /// governor can shape grants instead of gating them.
+  double DiskHeadroom(uint64_t disk_tag) const;
+
+  /// EWMA of one disk's job service time in ns (0 until a tagged job
+  /// completes; history drops when the queue fully drains).
+  double DiskServiceRateNs(uint64_t disk_tag) const;
+
+  /// Name a disk queue by prefetch route so RouteHeadroom(route) can find
+  /// it: multi-head devices call this with (EngineDiskTag, PrefetchRoute)
+  /// per child. Routes are small per-device indices; the engine keeps the
+  /// latest tag per route.
+  void LabelDisk(uint64_t disk_tag, uint64_t route);
+
+  /// DepthGauge: headroom of the disk labeled `route`, or the whole
+  /// engine for route 0 / unlabeled routes.
+  double RouteHeadroom(uint64_t route) const override;
 
  private:
   void WorkerLoop();
@@ -121,6 +199,7 @@ class IoEngine {
   struct DiskQueue {
     std::deque<Job> queue;
     size_t in_flight = 0;
+    double ewma_service_ns = 0.0;
   };
 
   /// Pop the next runnable job under mu_: untagged FIFO first, then
@@ -129,6 +208,13 @@ class IoEngine {
   bool PickJob(Job* out);
   /// Any job runnable right now (under mu_)?
   bool Runnable() const;
+  // Nonempty-queue bookkeeping (under mu_): Wait's self-steal scan is
+  // O(1) in the common cases (no tagged backlog, or a single hot disk)
+  // instead of touching every disk queue.
+  void NotePushed(uint64_t disk, const DiskQueue& dq);
+  void NotePopped(const DiskQueue& dq);
+  double HeadroomLocked() const;
+  double DiskHeadroomLocked(uint64_t disk_tag) const;
 
   mutable std::mutex mu_;
   std::condition_variable work_cv_;  // signals workers: job runnable/stop
@@ -139,9 +225,18 @@ class IoEngine {
   size_t queued_count_ = 0;
   size_t busy_workers_ = 0;
   size_t disk_inflight_cap_;
+  // Count of disk queues with pending (queued) jobs, plus the tag of the
+  // one pushed most recently: when exactly one queue is nonempty (the
+  // common steal shape — one device streaming), Wait jumps straight to
+  // it instead of scanning the map.
+  size_t nonempty_disk_queues_ = 0;
+  uint64_t last_nonempty_disk_ = 0;
+  std::map<uint64_t, uint64_t> route_tags_;  // prefetch route -> disk tag
   std::unordered_map<Ticket, Status> done_;
   Ticket next_ticket_ = 1;
   bool stop_ = false;
+  IoBackend backend_ = IoBackend::kWorkerPool;
+  std::unique_ptr<IoRing> ring_;
   std::vector<std::thread> workers_;
 };
 

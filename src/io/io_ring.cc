@@ -1,0 +1,339 @@
+#include "io/io_ring.h"
+
+#include <atomic>
+
+namespace vem {
+
+namespace {
+std::atomic<bool> g_force_unavailable{false};
+}  // namespace
+
+void IoRing::ForceUnavailableForTest(bool unavailable) {
+  g_force_unavailable.store(unavailable, std::memory_order_relaxed);
+}
+
+#ifdef VEM_WITH_IOURING
+
+}  // namespace vem
+
+#include <linux/io_uring.h>
+#include <sys/mman.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+namespace vem {
+
+namespace {
+
+constexpr unsigned kFileSlots = 64;
+constexpr unsigned kBufferSlots = 16;
+
+int SysSetup(unsigned entries, struct io_uring_params* p) {
+  return static_cast<int>(::syscall(__NR_io_uring_setup, entries, p));
+}
+
+int SysEnter(int fd, unsigned to_submit, unsigned min_complete,
+             unsigned flags) {
+  return static_cast<int>(::syscall(__NR_io_uring_enter, fd, to_submit,
+                                    min_complete, flags, nullptr, 0));
+}
+
+int SysRegister(int fd, unsigned opcode, const void* arg, unsigned nr_args) {
+  return static_cast<int>(::syscall(__NR_io_uring_register, fd, opcode, arg,
+                                    nr_args));
+}
+
+// The SQ/CQ indices are shared with the kernel: the side that consumes an
+// index loads with acquire, the side that publishes stores with release.
+unsigned LoadAcquire(const unsigned* p) {
+  return __atomic_load_n(p, __ATOMIC_ACQUIRE);
+}
+void StoreRelease(unsigned* p, unsigned v) {
+  __atomic_store_n(p, v, __ATOMIC_RELEASE);
+}
+
+}  // namespace
+
+bool IoRing::CompiledIn() { return true; }
+
+bool IoRing::KernelSupported() {
+  if (g_force_unavailable.load(std::memory_order_relaxed)) return false;
+  static const bool supported = [] {
+    struct io_uring_params p;
+    std::memset(&p, 0, sizeof(p));
+    int fd = SysSetup(4, &p);
+    if (fd < 0) return false;
+    ::close(fd);
+    return true;
+  }();
+  return supported;
+}
+
+std::unique_ptr<IoRing> IoRing::Create(unsigned entries) {
+  if (!KernelSupported()) return nullptr;
+  std::unique_ptr<IoRing> ring(new IoRing());
+  if (!ring->Init(entries)) return nullptr;
+  return ring;
+}
+
+bool IoRing::Init(unsigned entries) {
+  if (entries == 0) entries = 1;
+  struct io_uring_params p;
+  std::memset(&p, 0, sizeof(p));
+  ring_fd_ = SysSetup(entries, &p);
+  if (ring_fd_ < 0) return false;
+  sq_entries_ = p.sq_entries;
+  cq_entries_ = p.cq_entries;
+  single_mmap_ = (p.features & IORING_FEAT_SINGLE_MMAP) != 0;
+  sq_ring_bytes_ = p.sq_off.array + p.sq_entries * sizeof(unsigned);
+  cq_ring_bytes_ = p.cq_off.cqes + p.cq_entries * sizeof(struct io_uring_cqe);
+  if (single_mmap_) {
+    sq_ring_bytes_ = cq_ring_bytes_ = std::max(sq_ring_bytes_, cq_ring_bytes_);
+  }
+  sq_ring_ = ::mmap(nullptr, sq_ring_bytes_, PROT_READ | PROT_WRITE,
+                    MAP_SHARED | MAP_POPULATE, ring_fd_, IORING_OFF_SQ_RING);
+  if (sq_ring_ == MAP_FAILED) {
+    sq_ring_ = nullptr;
+    return false;
+  }
+  if (single_mmap_) {
+    cq_ring_ = sq_ring_;
+  } else {
+    cq_ring_ = ::mmap(nullptr, cq_ring_bytes_, PROT_READ | PROT_WRITE,
+                      MAP_SHARED | MAP_POPULATE, ring_fd_, IORING_OFF_CQ_RING);
+    if (cq_ring_ == MAP_FAILED) {
+      cq_ring_ = nullptr;
+      return false;
+    }
+  }
+  sqes_bytes_ = p.sq_entries * sizeof(struct io_uring_sqe);
+  sqes_ = ::mmap(nullptr, sqes_bytes_, PROT_READ | PROT_WRITE,
+                 MAP_SHARED | MAP_POPULATE, ring_fd_, IORING_OFF_SQES);
+  if (sqes_ == MAP_FAILED) {
+    sqes_ = nullptr;
+    return false;
+  }
+  char* sqp = static_cast<char*>(sq_ring_);
+  sq_head_ = reinterpret_cast<unsigned*>(sqp + p.sq_off.head);
+  sq_tail_ = reinterpret_cast<unsigned*>(sqp + p.sq_off.tail);
+  sq_mask_ = *reinterpret_cast<unsigned*>(sqp + p.sq_off.ring_mask);
+  sq_array_ = reinterpret_cast<unsigned*>(sqp + p.sq_off.array);
+  char* cqp = static_cast<char*>(cq_ring_);
+  cq_head_ = reinterpret_cast<unsigned*>(cqp + p.cq_off.head);
+  cq_tail_ = reinterpret_cast<unsigned*>(cqp + p.cq_off.tail);
+  cq_mask_ = *reinterpret_cast<unsigned*>(cqp + p.cq_off.ring_mask);
+  cqes_ = cqp + p.cq_off.cqes;
+#ifdef IORING_REGISTER_FILES2
+  {
+    // Sparse fixed-file table: slots are claimed per device via
+    // IORING_REGISTER_FILES_UPDATE, so registration is incremental
+    // instead of whole-table. Failure just means plain fds in SQEs.
+    struct io_uring_rsrc_register rr;
+    std::memset(&rr, 0, sizeof(rr));
+    rr.nr = kFileSlots;
+    rr.flags = IORING_RSRC_REGISTER_SPARSE;
+    if (SysRegister(ring_fd_, IORING_REGISTER_FILES2, &rr, sizeof(rr)) == 0) {
+      files_registered_ = true;
+      file_slots_.assign(kFileSlots, false);
+    }
+  }
+#endif
+#ifdef IORING_REGISTER_BUFFERS2
+  {
+    struct io_uring_rsrc_register rr;
+    std::memset(&rr, 0, sizeof(rr));
+    rr.nr = kBufferSlots;
+    rr.flags = IORING_RSRC_REGISTER_SPARSE;
+    if (SysRegister(ring_fd_, IORING_REGISTER_BUFFERS2, &rr, sizeof(rr)) ==
+        0) {
+      buffers_registered_ = true;
+      buffer_slots_.assign(kBufferSlots, false);
+    }
+  }
+#endif
+  return true;
+}
+
+IoRing::~IoRing() {
+  if (sqes_ != nullptr) ::munmap(sqes_, sqes_bytes_);
+  if (cq_ring_ != nullptr && cq_ring_ != sq_ring_) {
+    ::munmap(cq_ring_, cq_ring_bytes_);
+  }
+  if (sq_ring_ != nullptr) ::munmap(sq_ring_, sq_ring_bytes_);
+  if (ring_fd_ >= 0) ::close(ring_fd_);
+}
+
+int IoRing::RegisterFd(int fd) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!files_registered_) return -1;
+  for (unsigned i = 0; i < file_slots_.size(); ++i) {
+    if (file_slots_[i]) continue;
+    struct io_uring_files_update up;
+    std::memset(&up, 0, sizeof(up));
+    up.offset = i;
+    up.fds = reinterpret_cast<uint64_t>(&fd);
+    if (SysRegister(ring_fd_, IORING_REGISTER_FILES_UPDATE, &up, 1) != 1) {
+      return -1;
+    }
+    file_slots_[i] = true;
+    return static_cast<int>(i);
+  }
+  return -1;
+}
+
+void IoRing::UnregisterFd(int slot) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!files_registered_ || slot < 0 ||
+      static_cast<size_t>(slot) >= file_slots_.size()) {
+    return;
+  }
+  int fd = -1;
+  struct io_uring_files_update up;
+  std::memset(&up, 0, sizeof(up));
+  up.offset = static_cast<unsigned>(slot);
+  up.fds = reinterpret_cast<uint64_t>(&fd);
+  (void)SysRegister(ring_fd_, IORING_REGISTER_FILES_UPDATE, &up, 1);
+  file_slots_[slot] = false;
+}
+
+int IoRing::RegisterBuffer(void* p, size_t len) {
+#ifdef IORING_REGISTER_BUFFERS_UPDATE
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!buffers_registered_) return -1;
+  for (unsigned i = 0; i < buffer_slots_.size(); ++i) {
+    if (buffer_slots_[i]) continue;
+    struct iovec iov;
+    iov.iov_base = p;
+    iov.iov_len = len;
+    struct io_uring_rsrc_update2 up;
+    std::memset(&up, 0, sizeof(up));
+    up.offset = i;
+    up.data = reinterpret_cast<uint64_t>(&iov);
+    up.nr = 1;
+    if (SysRegister(ring_fd_, IORING_REGISTER_BUFFERS_UPDATE, &up,
+                    sizeof(up)) != 1) {
+      return -1;
+    }
+    buffer_slots_[i] = true;
+    return static_cast<int>(i);
+  }
+#else
+  (void)p, (void)len;
+#endif
+  return -1;
+}
+
+void IoRing::UnregisterBuffer(int slot) {
+#ifdef IORING_REGISTER_BUFFERS_UPDATE
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!buffers_registered_ || slot < 0 ||
+      static_cast<size_t>(slot) >= buffer_slots_.size()) {
+    return;
+  }
+  struct iovec iov;
+  iov.iov_base = nullptr;
+  iov.iov_len = 0;
+  struct io_uring_rsrc_update2 up;
+  std::memset(&up, 0, sizeof(up));
+  up.offset = static_cast<unsigned>(slot);
+  up.data = reinterpret_cast<uint64_t>(&iov);
+  up.nr = 1;
+  (void)SysRegister(ring_fd_, IORING_REGISTER_BUFFERS_UPDATE, &up,
+                    sizeof(up));
+  buffer_slots_[slot] = false;
+#else
+  (void)slot;
+#endif
+}
+
+Status IoRing::SubmitAndWait(Op* ops, size_t n) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto* sqes = static_cast<struct io_uring_sqe*>(sqes_);
+  auto* cqes = static_cast<struct io_uring_cqe*>(cqes_);
+  size_t done = 0;
+  while (done < n) {
+    const unsigned batch =
+        static_cast<unsigned>(std::min<size_t>(n - done, sq_entries_));
+    unsigned tail = *sq_tail_;  // sole producer under mu_
+    for (unsigned j = 0; j < batch; ++j) {
+      const Op& op = ops[done + j];
+      unsigned idx = (tail + j) & sq_mask_;
+      struct io_uring_sqe* sqe = &sqes[idx];
+      std::memset(sqe, 0, sizeof(*sqe));
+      if (op.iov != nullptr) {
+        sqe->opcode = op.write ? IORING_OP_WRITEV : IORING_OP_READV;
+        sqe->addr = reinterpret_cast<uint64_t>(op.iov);
+        sqe->len = op.iovcnt;
+      } else if (op.buf_index >= 0) {
+        sqe->opcode = op.write ? IORING_OP_WRITE_FIXED : IORING_OP_READ_FIXED;
+        sqe->addr = reinterpret_cast<uint64_t>(op.buf);
+        sqe->len = static_cast<unsigned>(op.len);
+        sqe->buf_index = static_cast<uint16_t>(op.buf_index);
+      } else {
+        sqe->opcode = op.write ? IORING_OP_WRITE : IORING_OP_READ;
+        sqe->addr = reinterpret_cast<uint64_t>(op.buf);
+        sqe->len = static_cast<unsigned>(op.len);
+      }
+      sqe->off = op.offset;
+      if (op.fixed_fd >= 0) {
+        sqe->fd = op.fixed_fd;
+        sqe->flags |= IOSQE_FIXED_FILE;
+      } else {
+        sqe->fd = op.fd;
+      }
+      sqe->user_data = done + j;
+      sq_array_[idx] = idx;
+    }
+    StoreRelease(sq_tail_, tail + batch);
+    unsigned submitted = 0;
+    unsigned completed = 0;
+    while (submitted < batch || completed < batch) {
+      int r = SysEnter(ring_fd_, batch - submitted, batch - completed,
+                       IORING_ENTER_GETEVENTS);
+      if (r < 0) {
+        if (errno == EINTR || errno == EAGAIN) continue;
+        return Status::IOError("io_uring_enter failed: " +
+                               std::string(std::strerror(errno)));
+      }
+      submitted += static_cast<unsigned>(r);
+      // Drain every CQE available; all in-flight SQEs belong to this
+      // batch (the ring is exclusive under mu_ and left empty between
+      // batches), so user_data always indexes `ops`.
+      unsigned chead = *cq_head_;
+      unsigned ctail = LoadAcquire(cq_tail_);
+      while (chead != ctail) {
+        const struct io_uring_cqe* cqe = &cqes[chead & cq_mask_];
+        ops[cqe->user_data].res = cqe->res;
+        chead++;
+        completed++;
+        ctail = LoadAcquire(cq_tail_);
+      }
+      StoreRelease(cq_head_, chead);
+    }
+    done += batch;
+  }
+  return Status::OK();
+}
+
+#else  // !VEM_WITH_IOURING
+
+bool IoRing::CompiledIn() { return false; }
+bool IoRing::KernelSupported() { return false; }
+std::unique_ptr<IoRing> IoRing::Create(unsigned) { return nullptr; }
+bool IoRing::Init(unsigned) { return false; }
+IoRing::~IoRing() = default;
+int IoRing::RegisterFd(int) { return -1; }
+void IoRing::UnregisterFd(int) {}
+int IoRing::RegisterBuffer(void*, size_t) { return -1; }
+void IoRing::UnregisterBuffer(int) {}
+Status IoRing::SubmitAndWait(Op*, size_t) {
+  return Status::NotSupported("io_uring not compiled in");
+}
+
+#endif  // VEM_WITH_IOURING
+
+}  // namespace vem

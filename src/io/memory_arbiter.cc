@@ -64,8 +64,12 @@ void MemoryArbiter::ReleaseLease(size_t* charged) {
 }
 
 void MemoryArbiter::AttachEngine(IoEngine* engine) {
+  AttachGauge(engine);  // the engine IS the production depth gauge
+}
+
+void MemoryArbiter::AttachGauge(const DepthGauge* gauge) {
   std::lock_guard<std::mutex> lock(mu_);
-  engine_ = engine;
+  gauge_ = gauge;
 }
 
 std::unique_ptr<PoolLease> MemoryArbiter::LeasePool(size_t frames) {
@@ -214,13 +218,22 @@ void MemoryArbiter::DoPoolConfirm(PoolLease* lease, size_t actual) {
 }
 
 size_t MemoryArbiter::DoStagingGrow(StagingLease* lease, size_t want) {
-  // Engine-saturation gate: stall evidence while every worker is busy
-  // with a backlog pending is queueing delay, not missing staging —
-  // granting blocks would deepen queues, not hide latency. Deny without
-  // arming pool-reclaim pressure (the pool is not at fault either).
-  if (engine_ != nullptr && engine_->saturated()) {
-    saturation_denied_grows_++;
-    return 0;
+  // Depth-aware shaping: scale the request by the engine's submission
+  // headroom. Stall evidence while every worker is busy with a backlog
+  // pending is queueing delay, not missing staging — granting blocks
+  // would deepen queues, not hide latency — so zero headroom denies the
+  // grow outright and fractional headroom grants a proportional share.
+  // Shaped-away memory never arms pool-reclaim pressure (the pool is
+  // not at fault; the engine is).
+  if (gauge_ != nullptr && want > 0) {
+    double h = gauge_->RouteHeadroom(0);
+    if (h < 1.0) {
+      want = static_cast<size_t>(static_cast<double>(want) * h);
+      if (want == 0) {
+        saturation_denied_grows_++;
+        return 0;
+      }
+    }
   }
   // See DoPoolReport: new charge only for the part of the raise not
   // already covered by a revoked-but-still-charged lease.

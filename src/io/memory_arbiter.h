@@ -55,6 +55,7 @@
 namespace vem {
 
 struct Options;
+class DepthGauge;
 class IoEngine;
 class MemoryArbiter;
 
@@ -187,13 +188,21 @@ class MemoryArbiter {
   MemoryArbiter(const MemoryArbiter&) = delete;
   MemoryArbiter& operator=(const MemoryArbiter&) = delete;
 
-  /// Engine-saturation gate: with an engine attached, staging grow
-  /// requests are denied while every worker is busy and a backlog is
-  /// pending — granting more staging memory cannot help when the
-  /// workers, not the depth, are the bottleneck, and the denied memory
-  /// stays available to the cache side. The engine must outlive this
-  /// arbiter.
+  /// Depth-aware grow shaping: with an engine attached, staging grow
+  /// requests are scaled by the engine's submission headroom — full
+  /// headroom grants the full request, zero headroom (every worker busy
+  /// with a backlog pending) denies it outright, fractional headroom
+  /// grants a proportional share. Granting more staging memory cannot
+  /// help when the workers, not the depth, are the bottleneck, and the
+  /// withheld memory stays available to the cache side. The engine must
+  /// outlive this arbiter.
   void AttachEngine(IoEngine* engine);
+
+  /// Same shaping from any DepthGauge (tests inject fakes). AttachEngine
+  /// is AttachGauge with the engine as the gauge; the whole-engine
+  /// headroom (route 0) shapes staging grows. The gauge must outlive
+  /// this arbiter.
+  void AttachGauge(const DepthGauge* gauge);
 
   /// Lease `frames` frames (clamped to free headroom) to a BufferPool.
   /// The arbiter must outlive the lease. Never returns null.
@@ -213,7 +222,7 @@ class MemoryArbiter {
   size_t staging_grows() const;   ///< staging targets raised
   size_t staging_sheds() const;   ///< staging targets lowered
   size_t denied_grows() const;    ///< grow requests with no headroom
-  size_t saturation_denied_grows() const;  ///< grows denied: engine busy
+  size_t saturation_denied_grows() const;  ///< grows shaped away: no headroom
 
   uint64_t now_ns() const { return clock_(); }
 
@@ -239,7 +248,9 @@ class MemoryArbiter {
   Config cfg_;
   Clock clock_;
   mutable std::mutex mu_;
-  IoEngine* engine_ = nullptr;  // optional saturation gate (not owned)
+  // Optional headroom gauge for grow shaping (not owned); see
+  // AttachGauge. Null = unshaped grows.
+  const DepthGauge* gauge_ = nullptr;
   size_t total_blocks_;
   size_t charged_blocks_ = 0;
   // Live leases of each kind; revocation picks the victim showing the

@@ -39,8 +39,12 @@ void PrefetchGovernor::AttachArbiter(MemoryArbiter* arb) {
 }
 
 void PrefetchGovernor::AttachEngine(IoEngine* engine) {
+  AttachGauge(engine);  // the engine IS the production depth gauge
+}
+
+void PrefetchGovernor::AttachGauge(const DepthGauge* gauge) {
   std::lock_guard<std::mutex> lock(mu_);
-  engine_ = engine;
+  gauge_ = gauge;
 }
 
 size_t PrefetchGovernor::ReconcileBudget() {
@@ -116,6 +120,18 @@ std::unique_ptr<PrefetchGovernor::Lease> PrefetchGovernor::Arm(
                           : 0;
     grant = std::min(grant, headroom / 2);
     if (grant < cfg_.min_depth) grant = 0;
+  }
+  // Depth-aware shaping: scale the fresh grant by the route's submission
+  // headroom, but never below min_depth — a fresh stream always gets its
+  // cheap experiment, headroom only trims how deep the experiment
+  // starts. Depth beyond that is earned by stall evidence under the same
+  // shaping (Adapt).
+  if (grant > cfg_.min_depth && gauge_ != nullptr) {
+    double h = gauge_->RouteHeadroom(route);
+    if (h < 1.0) {
+      size_t shaped = static_cast<size_t>(static_cast<double>(grant) * h);
+      grant = std::max(shaped, cfg_.min_depth);
+    }
   }
   // A probe only counts once it survives the budget gate; a probe
   // swallowed by exhausted headroom leaves the counter primed so the
@@ -195,17 +211,21 @@ void PrefetchGovernor::Adapt(Lease* lease) {
       shrink_decisions_++;
     }
   } else if (depth > 0 && lease->stalled_windows_ * 2 >= lease->windows_ &&
-             lease->stalled_windows_ > 0 && engine_ != nullptr &&
-             engine_->saturated()) {
-    // Stall evidence, but every engine worker is busy with a backlog
-    // pending: the stalls are queueing delay, not insufficient depth —
-    // deeper windows would only queue more. Hold depth and let the
-    // next period re-evaluate once the workers drain.
+             lease->stalled_windows_ > 0 &&
+             gauge_ != nullptr &&
+             gauge_->RouteHeadroom(lease->route_) <= 0.0) {
+    // Stall evidence, but the lease's disk has no submission headroom
+    // left (every worker busy with a backlog pending): the stalls are
+    // queueing delay, not insufficient depth — deeper windows would
+    // only queue more. Hold depth and let the next period re-evaluate
+    // once the workers drain.
     saturation_skips_++;
   } else if (depth > 0 && lease->stalled_windows_ * 2 >= lease->windows_ &&
              lease->stalled_windows_ > 0) {
     // The consumer keeps catching up with the fill: latency is not yet
-    // hidden, so deepen the window as far as ceiling and budget allow.
+    // hidden, so deepen the window as far as ceiling and budget allow —
+    // scaled by the disk's submission headroom, so a nearly-saturated
+    // head grows by its proportional share instead of the full doubling.
     size_t want = std::min(depth * 2, cfg_.max_depth);
     size_t headroom = cfg_.budget_blocks > staged_blocks_
                           ? cfg_.budget_blocks - staged_blocks_
@@ -221,9 +241,20 @@ void PrefetchGovernor::Adapt(Lease* lease) {
     }
     want = std::min(want, depth + headroom / 2);
     if (want > depth) {
-      staged_blocks_ += 2 * (want - depth);
-      lease->depth_ = want;
-      grow_decisions_++;
+      size_t growth = want - depth;
+      if (gauge_ != nullptr) {
+        double h = gauge_->RouteHeadroom(lease->route_);
+        growth = static_cast<size_t>(static_cast<double>(growth) * h);
+      }
+      if (growth > 0) {
+        staged_blocks_ += 2 * growth;
+        lease->depth_ = depth + growth;
+        grow_decisions_++;
+      } else {
+        // Headroom shaped the grow away entirely: same hold as the
+        // zero-headroom branch, visible to the same counter.
+        saturation_skips_++;
+      }
     }
   } else if (depth > cfg_.min_depth && lease->stalled_windows_ == 0 &&
              staged_blocks_ * 4 > cfg_.budget_blocks * 3) {

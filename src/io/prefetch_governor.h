@@ -49,6 +49,7 @@
 namespace vem {
 
 struct Options;
+class DepthGauge;
 class IoEngine;
 class MemoryArbiter;
 class StagingLease;
@@ -125,13 +126,21 @@ class PrefetchGovernor {
   /// outlive this governor.
   void AttachArbiter(MemoryArbiter* arb);
 
-  /// Engine-saturation gate: with an engine attached, depth grows are
-  /// refused while every worker is busy and a backlog is pending —
-  /// deeper windows only lengthen the queues when the workers are the
-  /// bottleneck, and the stall evidence that wanted the grow is the
+  /// Depth-aware grant shaping: with an engine attached, arms and depth
+  /// grows are scaled by the submission headroom of the lease's own disk
+  /// (IoEngine::RouteHeadroom) — full headroom grants the full doubling,
+  /// zero headroom (every worker busy with a backlog pending) holds
+  /// depth entirely, and fractional headroom grants a proportional
+  /// share. Deeper windows only lengthen the queues when the workers
+  /// are the bottleneck; the stall evidence that wanted the grow is the
   /// queue's fault, not the depth's. The engine must outlive this
   /// governor. Never affects IoStats (depth is a wall-clock knob).
   void AttachEngine(IoEngine* engine);
+
+  /// Same shaping, driven by any DepthGauge (tests inject fakes so the
+  /// shaping curve is deterministic). AttachEngine is AttachGauge with
+  /// the engine as the gauge. The gauge must outlive this governor.
+  void AttachGauge(const DepthGauge* gauge);
 
   /// One stream's claim on staging memory. Destroying the lease releases
   /// its budget and folds its waste history into the governor. The
@@ -215,7 +224,7 @@ class PrefetchGovernor {
   double waste_ewma() const;       ///< global staged-unused history [0,1]
   double stall_ewma() const;       ///< fraction of recent leases that stalled
   double lease_windows_ewma() const;  ///< typical lease lifetime (windows)
-  size_t saturation_skips() const; ///< grows refused: engine saturated
+  size_t saturation_skips() const; ///< grows held: no submission headroom
 
   /// Per-route history shape (tests, benches). Zeroes for an unseen route.
   struct RouteShape {
@@ -259,7 +268,10 @@ class PrefetchGovernor {
   Clock clock_;
   mutable std::mutex mu_;
   std::unique_ptr<StagingLease> staging_lease_;  // null = fixed budget
-  IoEngine* engine_ = nullptr;  // optional saturation gate (not owned)
+  // Optional headroom gauge for grant shaping (not owned). AttachEngine
+  // installs the engine itself (IoEngine is a DepthGauge); tests install
+  // fakes. Null = unshaped grants.
+  const DepthGauge* gauge_ = nullptr;
   size_t staged_blocks_ = 0;
   size_t arms_granted_ = 0;
   size_t arms_refused_ = 0;

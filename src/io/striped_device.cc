@@ -54,6 +54,11 @@ Status StripedDevice::ParallelStep(const std::function<Status(size_t)>& op) {
   return engine_->RunBatch(std::move(jobs), tags);
 }
 
+void StripedDevice::set_io_engine(IoEngine* engine) {
+  BlockDevice::set_io_engine(engine);
+  for (auto& d : disks_) d->set_io_engine(engine);
+}
+
 bool StripedDevice::SupportsUncounted() const {
   for (const auto& d : disks_) {
     if (!d->SupportsUncounted()) return false;

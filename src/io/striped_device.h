@@ -80,6 +80,11 @@ class StripedDevice final : public BlockDevice {
   void AccountReads(uint64_t blocks) override;
   void AccountWrites(uint64_t blocks) override;
 
+  /// Forwards the engine to every child: children execute the physical
+  /// stripe transfers, so the child is what picks the submission
+  /// transport (worker thread vs the engine's io_uring ring).
+  void set_io_engine(IoEngine* engine) override;
+
   uint64_t Allocate() override;
   void Free(uint64_t id) override;
   uint64_t num_allocated() const override { return allocated_; }

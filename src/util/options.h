@@ -8,6 +8,18 @@
 
 namespace vem {
 
+/// Submission backend for the IoEngine (see io/io_engine.h).
+///  - kWorkerPool: worker threads issue preadv/pwritev per job — the
+///    portable default, and the compiled-in fallback everywhere.
+///  - kIoUring: the same worker pool executes jobs, but FileBlockDevice
+///    transfers route through a per-engine io_uring submission ring (one
+///    SQE per coalesced run, batched submission, registered fds/buffers).
+///    Falls back to kWorkerPool at runtime when the kernel lacks io_uring
+///    or the build has no <linux/io_uring.h>; IoEngine::backend() reports
+///    the outcome. Never affects IoStats — the transport moves bytes, the
+///    accounting planes are unchanged.
+enum class IoBackend { kWorkerPool, kIoUring };
+
 /// Global configuration of the simulated machine.
 ///
 /// Maps onto the PDM parameters:
@@ -38,6 +50,11 @@ struct Options {
   /// parallel striping). A handful suffices — workers block in
   /// pread/pwrite rather than compute.
   size_t io_threads = 2;
+
+  /// Submission backend for IoEngines built from these Options. The
+  /// worker pool stays the default; kIoUring opts into the ring transport
+  /// where compiled in and kernel-supported (runtime fallback otherwise).
+  IoBackend io_backend = IoBackend::kWorkerPool;
 
   /// Per-disk in-flight cap for disk-tagged IoEngine jobs: at most this
   /// many jobs tagged with the same disk run on workers concurrently,

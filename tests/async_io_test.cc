@@ -4,6 +4,7 @@
 // bit-identical whether overlap is on or off.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstring>
 #include <numeric>
 #include <string>
@@ -14,9 +15,11 @@
 #include "io/faulty_device.h"
 #include "io/file_block_device.h"
 #include "io/io_engine.h"
+#include "io/io_ring.h"
 #include "io/memory_block_device.h"
 #include "io/striped_device.h"
 #include "sort/external_sort.h"
+#include "util/options.h"
 #include "util/random.h"
 
 namespace vem {
@@ -475,6 +478,106 @@ TEST(SortPrefetchStress, StatsBitIdenticalAndOutputSorted) {
       << "sync " << sync_cost.ToString() << " vs async "
       << async_cost.ToString();
   async_dev.set_io_engine(nullptr);
+}
+
+// ------------------------------------------------------ transport backends
+
+bool IoUringUsable() {
+  return IoRing::CompiledIn() && IoRing::KernelSupported();
+}
+
+/// Backend axis: every identity contract must hold regardless of which
+/// transport carries the physical transfers. kIoUring instances skip
+/// gracefully on kernels without io_uring.
+class BackendAxis : public ::testing::TestWithParam<IoBackend> {
+ protected:
+  void SetUp() override {
+    if (GetParam() == IoBackend::kIoUring && !IoUringUsable()) {
+      GTEST_SKIP() << "io_uring not available on this kernel/build";
+    }
+  }
+};
+
+TEST_P(BackendAxis, EngineReportsSelectedBackend) {
+  IoEngine engine(2, /*disk_inflight_cap=*/1, GetParam());
+  EXPECT_EQ(engine.backend(), GetParam());
+  EXPECT_EQ(engine.ring() != nullptr, GetParam() == IoBackend::kIoUring);
+}
+
+TEST_P(BackendAxis, ScanIdentityHoldsOnBackend) {
+  IoEngine engine(2, /*disk_inflight_cap=*/1, GetParam());
+  for (size_t depth : {1u, 4u, 16u}) {
+    FileBlockDevice dev(ScratchPath("backend_scan"), 128);
+    ASSERT_TRUE(dev.valid());
+    CheckPrefetchScanIdentity(&dev, &engine, depth);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Transports, BackendAxis,
+                         ::testing::Values(IoBackend::kWorkerPool,
+                                           IoBackend::kIoUring),
+                         [](const ::testing::TestParamInfo<IoBackend>& info) {
+                           return info.param == IoBackend::kIoUring
+                                      ? "IoUring"
+                                      : "WorkerPool";
+                         });
+
+// Full write+scan+sort workload on a file device, once per backend:
+// IoStats must be bit-identical — the transport moves bytes, never costs.
+TEST(BackendIdentity, WorkerPoolAndIoUringBitIdentical) {
+  if (!IoUringUsable()) {
+    GTEST_SKIP() << "io_uring not available on this kernel/build";
+  }
+  auto run = [](IoBackend backend, const char* tag, bool direct,
+                std::vector<uint64_t>* out) {
+    IoEngine engine(2, /*disk_inflight_cap=*/2, backend);
+    FileBlockDevice dev(ScratchPath(tag), 512, /*unlink_on_close=*/true,
+                        /*direct_io=*/direct);
+    EXPECT_TRUE(dev.valid());
+    dev.set_io_engine(&engine);
+    Rng rng(77);
+    std::vector<uint64_t> data(20000);
+    for (auto& v : data) v = rng.Next();
+    ExtVector<uint64_t> input(&dev);
+    input.set_prefetch_depth(8);
+    IoProbe probe(dev);
+    EXPECT_TRUE(input.AppendAll(data.data(), data.size()).ok());
+    ExternalSorter<uint64_t> sorter(&dev, /*memory=*/8 * 1024);
+    sorter.set_prefetch_depth(8);
+    ExtVector<uint64_t> sorted(&dev);
+    EXPECT_TRUE(sorter.Sort(input, &sorted).ok());
+    EXPECT_TRUE(sorted.ReadAll(out).ok());
+    IoStats cost = probe.delta();
+    dev.set_io_engine(nullptr);
+    return cost;
+  };
+  for (bool direct : {false, true}) {
+    std::vector<uint64_t> wp_out, ur_out;
+    IoStats wp = run(IoBackend::kWorkerPool,
+                     direct ? "bid_wp_d" : "bid_wp", direct, &wp_out);
+    IoStats ur = run(IoBackend::kIoUring, direct ? "bid_ur_d" : "bid_ur",
+                     direct, &ur_out);
+    EXPECT_TRUE(std::is_sorted(wp_out.begin(), wp_out.end()));
+    EXPECT_EQ(wp_out, ur_out) << "direct=" << direct;
+    EXPECT_TRUE(wp == ur) << "direct=" << direct << " worker-pool "
+                          << wp.ToString() << " vs io_uring "
+                          << ur.ToString();
+  }
+}
+
+// Requesting io_uring on a host without it must degrade to the worker
+// pool silently — same API, same stats, just the portable transport.
+TEST(BackendFallback, ForcedUnavailableFallsBackToWorkerPool) {
+  IoRing::ForceUnavailableForTest(true);
+  {
+    IoEngine engine(2, /*disk_inflight_cap=*/1, IoBackend::kIoUring);
+    EXPECT_EQ(engine.backend(), IoBackend::kWorkerPool);
+    EXPECT_EQ(engine.ring(), nullptr);
+    FileBlockDevice dev(ScratchPath("fallback"), 128);
+    ASSERT_TRUE(dev.valid());
+    CheckPrefetchScanIdentity(&dev, &engine, /*depth=*/4);
+  }
+  IoRing::ForceUnavailableForTest(false);
 }
 
 // --------------------------------------------------------------- PageRef

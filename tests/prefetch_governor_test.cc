@@ -5,9 +5,11 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <map>
 #include <memory>
 #include <vector>
 
+#include "io/io_engine.h"
 #include "io/memory_block_device.h"
 #include "io/prefetch_governor.h"
 #include "search/external_pq.h"
@@ -102,6 +104,88 @@ TEST(PrefetchGovernor, PartialGrantWhenHeadroomIsTight) {
   auto b = gov.Arm(4);  // only 2 fits (2*2 <= 4): partial grant
   EXPECT_EQ(b->depth(), 2u);
   EXPECT_EQ(gov.staged_blocks(), 12u);
+}
+
+/// Scripted depth gauge: tests pin each route's headroom by hand.
+struct FakeGauge : public DepthGauge {
+  double headroom = 1.0;
+  std::map<uint64_t, double> per_route;
+  double RouteHeadroom(uint64_t route) const override {
+    auto it = per_route.find(route);
+    return it != per_route.end() ? it->second : headroom;
+  }
+};
+
+TEST(PrefetchGovernor, ArmGrantsScaleWithRouteHeadroom) {
+  FakeClock clk;
+  FakeGauge gauge;
+  auto cfg = TestConfig();
+  cfg.budget_blocks = 256;  // ample: only the gauge shapes these grants
+  PrefetchGovernor gov(cfg, clk.fn());
+  gov.AttachGauge(&gauge);
+
+  gauge.headroom = 1.0;  // idle engine: the full request
+  auto full = gov.Arm(16);
+  EXPECT_EQ(full->depth(), 16u);
+
+  gauge.headroom = 0.5;  // half the submission headroom, half the grant
+  auto half = gov.Arm(16);
+  EXPECT_EQ(half->depth(), 8u);
+
+  gauge.headroom = 0.0;  // saturated: floor, never refuse a fresh stream
+  auto floored = gov.Arm(16);
+  EXPECT_EQ(floored->depth(), 2u);
+
+  // Per-route: one congested disk shapes only its own streams.
+  gauge.headroom = 1.0;
+  gauge.per_route[3] = 0.25;
+  auto congested = gov.Arm(16, /*route=*/3);
+  EXPECT_EQ(congested->depth(), 4u);
+  auto other = gov.Arm(16, /*route=*/4);
+  EXPECT_EQ(other->depth(), 16u);
+}
+
+TEST(PrefetchGovernor, DepthGrowsScaleWithRouteHeadroom) {
+  FakeClock clk;
+  FakeGauge gauge;
+  PrefetchGovernor gov(TestConfig(), clk.fn());
+  gov.AttachGauge(&gauge);
+  auto grower = gov.Arm(4);
+  ASSERT_EQ(grower->depth(), 4u);
+
+  // Stalled period under half headroom: the doubling (4 -> 8) is shaped
+  // to half its growth (4 -> 6).
+  gauge.headroom = 0.5;
+  for (int w = 0; w < 4; ++w) {
+    uint64_t t0 = grower->BeginWait();
+    clk.now_ns += 5000;
+    grower->EndWait(t0);
+    grower->ReportWindow(/*consumed=*/4, /*unused=*/0);
+  }
+  EXPECT_EQ(grower->depth(), 6u);
+  EXPECT_EQ(gov.grow_decisions(), 1u);
+
+  // Zero headroom: the grow is held outright and counted.
+  gauge.headroom = 0.0;
+  uint64_t skips_before = gov.saturation_skips();
+  for (int w = 0; w < 4; ++w) {
+    uint64_t t0 = grower->BeginWait();
+    clk.now_ns += 5000;
+    grower->EndWait(t0);
+    grower->ReportWindow(/*consumed=*/6, /*unused=*/0);
+  }
+  EXPECT_EQ(grower->depth(), 6u);
+  EXPECT_GT(gov.saturation_skips(), skips_before);
+
+  // Headroom restored: the next stalled period grows again in full.
+  gauge.headroom = 1.0;
+  for (int w = 0; w < 4; ++w) {
+    uint64_t t0 = grower->BeginWait();
+    clk.now_ns += 5000;
+    grower->EndWait(t0);
+    grower->ReportWindow(/*consumed=*/6, /*unused=*/0);
+  }
+  EXPECT_EQ(grower->depth(), 12u);
 }
 
 TEST(PrefetchGovernor, GrowsOnConsumerStalls) {
