@@ -202,6 +202,31 @@ class BlockDevice {
     return 0;
   }
 
+  // --------------------------------------------------- durability plane
+
+  /// Durability barrier: flush completed writes to the storage medium.
+  /// The default is a no-op (RAM devices have nothing to flush);
+  /// FileBlockDevice issues fdatasync/fsync, composite devices forward to
+  /// every child. Never touches IoStats — durability is not a PDM
+  /// transfer.
+  virtual Status Sync() { return Status::OK(); }
+
+  /// Log sequence number of the most recent journaled mutation on this
+  /// device: 0 on every device without a write-ahead log. A journaling
+  /// device (DurableBlockDevice) returns the end-LSN of the last record
+  /// it appended; the BufferPool records it per written-back frame so
+  /// FlushAll can gate on it.
+  virtual uint64_t wal_last_lsn() const { return 0; }
+
+  /// Make the write-ahead log durable through `lsn` (force the log).
+  /// No-op without a WAL. This is the page-LSN gate the BufferPool
+  /// enforces: a dirty frame does not count as flushed until the log
+  /// record holding its content is durable.
+  virtual Status EnsureWalDurable(uint64_t lsn) {
+    (void)lsn;
+    return Status::OK();
+  }
+
   /// IoEngine disk tag of the head that serves `block_id`, for callers
   /// that submit their own per-block jobs (the forecast merge). All
   /// submission paths for one physical disk must share one tag or the

@@ -4,7 +4,18 @@
 // IOError. Tests use it to verify that every algorithm propagates device
 // errors as Status (no crash, no silent corruption) — the discipline the
 // RocksDB-style error model demands.
+//
+// Torn-write injection (SetTornWrite) models the other half of a crash:
+// the k-th write persists only a PREFIX of the block before "power
+// fails" — the head of the new data lands, the tail keeps whatever the
+// block held before. Recovery code must detect the damage by checksum,
+// not by error status, which is exactly what the WAL's per-record CRC
+// scan is for.
 #pragma once
+
+#include <algorithm>
+#include <cstring>
+#include <vector>
 
 #include "io/block_device.h"
 
@@ -41,7 +52,8 @@ class FaultyBlockDevice final : public BlockDevice {
   }
 
   Status Write(uint64_t id, const void* buf) override {
-    if (++writes_seen_ == fail_write_at_) {
+    if (++writes_seen_ == torn_write_at_) return TearWrite(id, buf);
+    if (writes_seen_ == fail_write_at_) {
       return Status::IOError("injected write fault #" +
                              std::to_string(writes_seen_));
     }
@@ -52,6 +64,17 @@ class FaultyBlockDevice final : public BlockDevice {
       stats_.bytes_written += block_size();
     }
     return s;
+  }
+
+  /// Arm torn-write injection: the N-th write (1-based, same counter as
+  /// fail_write_at_, either plane) persists only the first `bytes` bytes
+  /// of the new block content — the rest of the block keeps its previous
+  /// contents — then reports an IOError as the "crash". The partial
+  /// block IS durable on the inner device, so a recovery scan sees a
+  /// block whose contents fail CRC validation rather than a clean end.
+  void SetTornWrite(uint64_t at_write, size_t bytes) {
+    torn_write_at_ = at_write;
+    torn_bytes_ = bytes;
   }
 
   // Uncounted plane: forwarded (when the inner device has one) with the
@@ -71,12 +94,17 @@ class FaultyBlockDevice final : public BlockDevice {
     return inner_->ReadUncounted(id, buf);
   }
   Status WriteUncounted(uint64_t id, const void* buf) override {
-    if (++writes_seen_ == fail_write_at_) {
+    if (++writes_seen_ == torn_write_at_) return TearWrite(id, buf);
+    if (writes_seen_ == fail_write_at_) {
       return Status::IOError("injected write fault #" +
                              std::to_string(writes_seen_));
     }
     return inner_->WriteUncounted(id, buf);
   }
+
+  /// Durability barrier forwards to the wrapped device (a torn write is
+  /// already durable by the time the barrier runs — that is the point).
+  Status Sync() override { return inner_->Sync(); }
 
   /// Deferred accounting reaches the inner device too: on the counted
   /// plane inner_->Read/Write charge the inner stats per block, so the
@@ -115,8 +143,33 @@ class FaultyBlockDevice final : public BlockDevice {
   uint64_t writes_seen() const { return writes_seen_; }
 
  private:
+  /// Persist prefix-of-new + suffix-of-old for block `id`, then report
+  /// the crash. Rides the uncounted plane when available so the torn
+  /// bytes never show up as a successful counted write.
+  Status TearWrite(uint64_t id, const void* buf) {
+    std::vector<char> merged(block_size(), 0);
+    // Old content first (unwritten blocks read as zeros by contract) —
+    // a real torn sector keeps its stale tail, not a clean one.
+    if (inner_->SupportsUncounted()) {
+      (void)inner_->ReadUncounted(id, merged.data());
+    } else {
+      (void)inner_->Read(id, merged.data());
+    }
+    size_t keep = std::min(torn_bytes_, block_size());
+    std::memcpy(merged.data(), buf, keep);
+    Status s = inner_->SupportsUncounted()
+                   ? inner_->WriteUncounted(id, merged.data())
+                   : inner_->Write(id, merged.data());
+    if (!s.ok()) return s;
+    return Status::IOError("injected torn write #" +
+                           std::to_string(writes_seen_) + " (" +
+                           std::to_string(keep) + " bytes persisted)");
+  }
+
   BlockDevice* inner_;
   uint64_t fail_read_at_, fail_write_at_;
+  uint64_t torn_write_at_ = kNever;
+  size_t torn_bytes_ = 0;
   uint64_t reads_seen_ = 0;
   uint64_t writes_seen_ = 0;
 };

@@ -7,6 +7,7 @@
 
 #include <cerrno>
 #include <cstdint>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <deque>
@@ -67,14 +68,15 @@ constexpr size_t kRingStagingBytes = 1u << 20;
 
 FileBlockDevice::FileBlockDevice(std::string path, size_t block_size,
                                  bool unlink_on_close, bool direct_io,
-                                 bool sync_on_close)
+                                 bool sync_on_close, bool open_existing)
     : path_(std::move(path)),
       block_size_(block_size),
       unlink_on_close_(unlink_on_close),
       sync_on_close_(sync_on_close) {
+  const int base_flags = O_RDWR | O_CREAT | (open_existing ? 0 : O_TRUNC);
 #ifdef O_DIRECT
   if (direct_io && block_size_ > 0 && block_size_ % kDirectFsAlign == 0) {
-    fd_ = ::open(path_.c_str(), O_RDWR | O_CREAT | O_TRUNC | O_DIRECT, 0644);
+    fd_ = ::open(path_.c_str(), base_flags | O_DIRECT, 0644);
     direct_io_active_ = fd_ >= 0;
 #ifdef STATX_DIOALIGN
     // The 512-byte heuristic above is the historical floor, but 4Kn
@@ -106,8 +108,80 @@ FileBlockDevice::FileBlockDevice(std::string path, size_t block_size,
   // kernels returns EINVAL) or the block size cannot satisfy the
   // alignment contract — run buffered instead.
   if (fd_ < 0) {
-    fd_ = ::open(path_.c_str(), O_RDWR | O_CREAT | O_TRUNC, 0644);
+    fd_ = ::open(path_.c_str(), base_flags, 0644);
     direct_io_active_ = false;
+  }
+  if (fd_ < 0) {
+    RecordError(Status::IOError("open failed for " + path_ + ": " +
+                                std::strerror(errno)));
+    return;
+  }
+  // O_CREAT made the file exist, but only in the directory's in-memory
+  // state: until the parent directory itself is fsynced, a crash can
+  // lose the directory entry — and with it every durably-written byte
+  // inside the file. One barrier per open, on both open paths.
+  SyncParentDir();
+  if (open_existing && block_size_ > 0) {
+    // Adopt the existing contents: the allocated-block count is the file
+    // size (every write is a whole block, so sizes are block-aligned;
+    // a torn tail from a crashed writer rounds up so it stays readable
+    // for recovery's CRC scan to reject).
+    struct stat st;
+    if (::fstat(fd_, &st) == 0) {
+      uint64_t blocks =
+          (static_cast<uint64_t>(st.st_size) + block_size_ - 1) / block_size_;
+      next_id_.store(blocks, std::memory_order_release);
+      allocated_ = blocks;
+      // The adopted extent is the durability baseline: Sync() only needs
+      // the full fsync once the file grows past it again.
+      written_extent_.store(blocks);
+      synced_extent_.store(blocks);
+    } else {
+      RecordError(Status::IOError("fstat failed for " + path_ + ": " +
+                                  std::strerror(errno)));
+    }
+  }
+}
+
+void FileBlockDevice::SyncParentDir() {
+  std::string dir;
+  size_t slash = path_.find_last_of('/');
+  if (slash == std::string::npos) {
+    dir = ".";
+  } else if (slash == 0) {
+    dir = "/";
+  } else {
+    dir = path_.substr(0, slash);
+  }
+  int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (dfd < 0) {
+    RecordError(Status::IOError("open of parent dir " + dir +
+                                " failed: " + std::strerror(errno)));
+    return;
+  }
+  if (::fsync(dfd) != 0) {
+    RecordError(Status::IOError("fsync of parent dir " + dir +
+                                " failed: " + std::strerror(errno)));
+  }
+  ::close(dfd);
+}
+
+void FileBlockDevice::RecordError(const Status& s) {
+  if (s.ok()) return;
+  std::lock_guard<std::mutex> lk(err_mu_);
+  if (last_error_.ok()) last_error_ = s;
+}
+
+Status FileBlockDevice::last_error() const {
+  std::lock_guard<std::mutex> lk(err_mu_);
+  return last_error_;
+}
+
+void FileBlockDevice::NoteWrittenExtent(uint64_t first_id, size_t nblocks) {
+  uint64_t end = first_id + nblocks;
+  uint64_t cur = written_extent_.load(std::memory_order_relaxed);
+  while (end > cur && !written_extent_.compare_exchange_weak(
+                          cur, end, std::memory_order_relaxed)) {
   }
 }
 
@@ -122,7 +196,17 @@ FileBlockDevice::~FileBlockDevice() {
     // Durability before close: without the barrier, timings that end at
     // destruction can be flattered by data still sitting in the drive's
     // write cache (even scratch files — the flush cost is the honest one).
-    if (sync_on_close_) (void)Sync();
+    // A destructor cannot return the failure, but it must not swallow it
+    // either: the sticky error records it (queryable while the device
+    // lives) and stderr gets one line so a lost flush is never silent.
+    if (sync_on_close_) {
+      Status s = Sync();
+      if (!s.ok()) {
+        RecordError(s);
+        std::fprintf(stderr, "FileBlockDevice(%s): close-time sync failed: %s\n",
+                     path_.c_str(), s.ToString().c_str());
+      }
+    }
     ::close(fd_);
     if (unlink_on_close_) ::unlink(path_.c_str());
   }
@@ -130,10 +214,29 @@ FileBlockDevice::~FileBlockDevice() {
 
 Status FileBlockDevice::Sync() {
   if (fd_ < 0) return Status::IOError("device not open: " + path_);
-  while (::fdatasync(fd_) != 0) {
+  // Snapshot the written extent BEFORE the flush: concurrent appends past
+  // the snapshot stay un-synced and keep the next barrier full-strength.
+  const uint64_t extent = written_extent_.load(std::memory_order_acquire);
+  const bool grew = extent > synced_extent_.load(std::memory_order_acquire);
+  // Appends change the file size; fdatasync's contract on size metadata
+  // is subtle enough across filesystems that a size-changing barrier
+  // takes the full fsync. Pure overwrites keep the cheaper fdatasync.
+  while ((grew ? ::fsync(fd_) : ::fdatasync(fd_)) != 0) {
     if (errno == EINTR) continue;
-    return Status::IOError("fdatasync failed: " +
-                           std::string(std::strerror(errno)));
+    Status s = Status::IOError(std::string(grew ? "fsync" : "fdatasync") +
+                               " failed: " + std::strerror(errno));
+    RecordError(s);
+    return s;
+  }
+  if (grew) {
+    full_syncs_.fetch_add(1);
+    // Monotone: a racing Sync may have covered more already.
+    uint64_t cur = synced_extent_.load(std::memory_order_relaxed);
+    while (extent > cur && !synced_extent_.compare_exchange_weak(
+                               cur, extent, std::memory_order_release)) {
+    }
+  } else {
+    data_syncs_.fetch_add(1);
   }
   return Status::OK();
 }
@@ -192,6 +295,7 @@ Status FileBlockDevice::WriteUncounted(uint64_t id, const void* buf) {
     }
     put += static_cast<size_t>(n);
   }
+  NoteWrittenExtent(id, 1);
   return Status::OK();
 }
 
@@ -245,6 +349,7 @@ Status FileBlockDevice::TransferRun(uint64_t first_id, void* const* bufs,
       // Blocks fully transferred before the error were real I/O and get
       // charged, exactly as the per-block loop would have counted them.
       *blocks_completed = done / block_size_;
+      if (write) NoteWrittenExtent(first_id, *blocks_completed);
       return Status::IOError(std::string(write ? "pwritev" : "preadv") +
                              " failed: " + std::strerror(errno));
     }
@@ -266,6 +371,7 @@ Status FileBlockDevice::TransferRun(uint64_t first_id, void* const* bufs,
     }
   }
   *blocks_completed = nblocks;
+  if (write) NoteWrittenExtent(first_id, nblocks);
   return Status::OK();
 }
 
@@ -304,6 +410,7 @@ Status FileBlockDevice::TransferRunDirect(uint64_t first_id,
     if (n < 0) {
       if (errno == EINTR) continue;
       *blocks_completed = done / block_size_;
+      if (write) NoteWrittenExtent(first_id, *blocks_completed);
       if (!write && !in_place) {
         // Deliver the blocks that fully transferred, like preadv would.
         for (size_t i = 0; i < *blocks_completed; ++i) {
@@ -334,6 +441,7 @@ Status FileBlockDevice::TransferRunDirect(uint64_t first_id,
     }
   }
   *blocks_completed = nblocks;
+  if (write) NoteWrittenExtent(first_id, nblocks);
   return Status::OK();
 }
 
@@ -608,6 +716,9 @@ Status FileBlockDevice::VectoredTransferRing(IoRing* ring, const uint64_t* ids,
   // status wins, then the precheck error for the invalid tail.
   Status fail = Status::OK();
   for (RingRun& r : runs) {
+    if (write && r.completed_blocks > 0) {
+      NoteWrittenExtent(r.first_id, r.completed_blocks);
+    }
     if (direct_io_active_ && !write && !r.in_place) {
       for (size_t k = 0; k < r.completed_blocks; ++k) {
         std::memcpy(bufs[r.first + k], r.target + k * block_size_,

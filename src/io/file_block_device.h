@@ -36,6 +36,14 @@
 // buffer for bounce transfers. Runs, charging, EOF zero-fill, and bounce
 // semantics are bit-identical to the worker path. A device that
 // registered with a ring must be destroyed before that engine.
+//
+// Crash-safety contract: the constructor fsyncs the parent directory
+// after O_CREAT (a crash right after open could otherwise lose the
+// directory entry itself — the file's data would be orphaned), Sync()
+// distinguishes data-only flushes (fdatasync) from size-changing appends
+// that need the full fsync (file-length metadata — the WAL's tail
+// growth), and every I/O failure is recorded in a sticky last_error()
+// so a destructor-time flush failure is no longer silently swallowed.
 #pragma once
 
 #include <atomic>
@@ -57,10 +65,13 @@ class FileBlockDevice final : public BlockDevice {
   /// `unlink_on_close` is true (the default; benchmark scratch files).
   /// `direct_io` requests O_DIRECT cold-cache mode (see file comment;
   /// falls back to buffered I/O when unsupported). `sync_on_close` issues
-  /// a Sync() barrier before the fd closes.
+  /// a Sync() barrier before the fd closes. `open_existing` keeps an
+  /// existing file's contents instead of truncating and derives the
+  /// allocated-block count from its size — the reopen path durable
+  /// storage (WAL + data files) uses after a restart.
   FileBlockDevice(std::string path, size_t block_size,
                   bool unlink_on_close = true, bool direct_io = false,
-                  bool sync_on_close = false);
+                  bool sync_on_close = false, bool open_existing = false);
 
   /// Convenience: take block_size, direct_io and sync_on_close from
   /// Options, so the documented machine configuration drives the device
@@ -82,12 +93,25 @@ class FileBlockDevice final : public BlockDevice {
   /// filesystem + block size allowed it).
   bool direct_io_active() const { return direct_io_active_; }
 
-  /// Durability barrier: fdatasync the backing file, so every completed
+  /// Durability barrier: flush the backing file, so every completed
   /// write has reached the storage medium, not just the drive's volatile
   /// write cache. O_DIRECT alone does NOT give this — it bypasses the OS
-  /// page cache, but the device may still buffer. Costs one device cache
+  /// page cache, but the device may still buffer. When writes since the
+  /// last barrier extended the file (WAL tail growth), the barrier is a
+  /// full fsync so the file-length metadata is durable too; data-only
+  /// overwrites take the cheaper fdatasync. Costs one device cache
   /// flush; never touches IoStats (durability is not a PDM transfer).
-  Status Sync();
+  Status Sync() override;
+
+  /// First error this device has hit (open, transfer, or sync — including
+  /// the destructor's sync_on_close barrier, which has no other way to
+  /// report). Sticky: once set it stays, so a swallowed flush failure is
+  /// still visible to whoever owns the device. OK when nothing failed.
+  Status last_error() const;
+
+  /// Sync() introspection for the fdatasync/fsync split (tests).
+  uint64_t full_syncs() const { return full_syncs_.load(); }
+  uint64_t data_syncs() const { return data_syncs_.load(); }
 
   size_t block_size() const override { return block_size_; }
   Status Read(uint64_t id, void* buf) override;
@@ -110,6 +134,18 @@ class FileBlockDevice final : public BlockDevice {
   uint64_t num_allocated() const override { return allocated_; }
 
  private:
+  /// fsync the directory holding path_ so the O_CREAT directory entry is
+  /// durable — without it a crash can lose the file itself even after
+  /// its data was fsynced. Failures go to the sticky error.
+  void SyncParentDir();
+
+  /// Record `s` as the sticky error if none is set yet (first error wins).
+  void RecordError(const Status& s);
+
+  /// Note a write covering blocks [first, first+n): Sync() upgrades to a
+  /// full fsync when the written extent grew past the last synced one.
+  void NoteWrittenExtent(uint64_t first_id, size_t nblocks);
+
   /// Shared engine for all four batch entry points: splits [ids, ids+n)
   /// into maximal runs of contiguous ids (capped at the iovec limit) and
   /// issues one preadv/pwritev per run. `write` picks the direction;
@@ -153,6 +189,21 @@ class FileBlockDevice final : public BlockDevice {
   std::atomic<uint64_t> next_id_{0};
   std::vector<uint64_t> free_list_;
   uint64_t allocated_ = 0;
+
+  // Sync-barrier bookkeeping (atomics: write paths run on engine threads).
+  // written_extent_ is the high-water block count ever written;
+  // synced_extent_ is the extent covered by the last successful Sync().
+  // written > synced means the file grew since the barrier, so the next
+  // Sync() must be a full fsync (size metadata), not just fdatasync.
+  std::atomic<uint64_t> written_extent_{0};
+  std::atomic<uint64_t> synced_extent_{0};
+  std::atomic<uint64_t> full_syncs_{0};
+  std::atomic<uint64_t> data_syncs_{0};
+
+  // Sticky first-error status (see last_error()); mutex-guarded because
+  // engine workers can fail concurrently.
+  mutable std::mutex err_mu_;
+  Status last_error_;
 
   // io_uring transport state. ring_mu_ guards (re)registration; the slots
   // are stable between registrations, so transfer paths read them after

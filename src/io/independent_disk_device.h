@@ -132,6 +132,12 @@ class IndependentDiskDevice final : public BlockDevice {
   /// merge) queue behind the same head.
   uint64_t EngineDiskTag(uint64_t block_id) const override;
 
+  /// Durability barrier over every child disk; first failure wins.
+  Status Sync() override {
+    for (auto& d : disks_) VEM_RETURN_IF_ERROR(d->Sync());
+    return Status::OK();
+  }
+
   uint64_t Allocate() override;
   void Free(uint64_t id) override;
   uint64_t num_allocated() const override { return allocated_; }

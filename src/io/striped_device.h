@@ -85,6 +85,12 @@ class StripedDevice final : public BlockDevice {
   /// transport (worker thread vs the engine's io_uring ring).
   void set_io_engine(IoEngine* engine) override;
 
+  /// Durability barrier over every child disk; first failure wins.
+  Status Sync() override {
+    for (auto& d : disks_) VEM_RETURN_IF_ERROR(d->Sync());
+    return Status::OK();
+  }
+
   uint64_t Allocate() override;
   void Free(uint64_t id) override;
   uint64_t num_allocated() const override { return allocated_; }

@@ -113,6 +113,25 @@ struct Options {
   /// FileBlockDevice::Sync() exposes the same barrier mid-run.
   bool sync_on_close = false;
 
+  /// Write-ahead logging (src/wal/): opt into the durability plane.
+  /// DurableStorage built from these Options wraps the data device in a
+  /// DurableBlockDevice journaling every block write and the block-id
+  /// allocation map into an append-only, CRC-protected log; Commit() is
+  /// the durability point (group-commit fsync) and ARIES-lite recovery
+  /// replays committed writes after a crash. Off (the default) the
+  /// wrapper is a pure pass-through and IoStats stay bit-identical to a
+  /// WAL-free build; on, the logical (data-plane) IoStats are unchanged
+  /// and the journal's physical writes are charged to the WAL's own
+  /// device at commit.
+  bool enable_wal = false;
+
+  /// Group-commit window in microseconds: a committer that finds no
+  /// fsync in flight waits this long before paying one, so concurrent
+  /// commits batch under a single log force. 0 (the default) syncs
+  /// immediately; concurrent committers still share in-flight fsyncs
+  /// (leader/follower), the window only widens the batch.
+  uint64_t wal_group_commit_us = 0;
+
   /// Per-type block capacity: how many T fit in one block.
   template <typename T>
   size_t items_per_block() const {
