@@ -24,12 +24,24 @@
 #include <new>
 
 #include "io/io_stats.h"
+#include "io/retry_policy.h"
 #include "util/status.h"
 
 namespace vem {
 
 class IoEngine;
 class PrefetchGovernor;
+
+/// Run `op` under `policy` (or once, when policy is null), reporting
+/// every failed attempt to `engine`'s per-disk health monitor under
+/// `disk_tag` (when engine is non-null). Defined in retry_policy.cc so
+/// this header needs no IoEngine definition. This is the device-side
+/// retry shim: it retries only Status::IsTransient() failures, and the
+/// health report fires per ATTEMPT — a disk whose faults are papered
+/// over by retries still accumulates error evidence.
+Status RunWithDiskRetry(RetryPolicy* policy, IoEngine* engine,
+                        uint64_t disk_tag, uint64_t key,
+                        const std::function<Status()>& op);
 
 /// Memory alignment for I/O buffers. Streams and the buffer pool
 /// allocate their block buffers at this bar so devices with strict
@@ -82,7 +94,8 @@ class BlockDevice {
   /// The default IS that loop; devices with a faster path (preadv
   /// coalescing of contiguous ids) override it.
   virtual Status ReadBatch(const uint64_t* ids, void* const* bufs, size_t n) {
-    for (size_t i = 0; i < n; ++i) VEM_RETURN_IF_ERROR(Read(ids[i], bufs[i]));
+    for (size_t i = 0; i < n; ++i)
+      VEM_RETURN_IF_ERROR(RetriedRead(ids[i], bufs[i]));
     return Status::OK();
   }
 
@@ -90,7 +103,8 @@ class BlockDevice {
   /// equivalent Write loop; default is that loop.
   virtual Status WriteBatch(const uint64_t* ids, const void* const* bufs,
                             size_t n) {
-    for (size_t i = 0; i < n; ++i) VEM_RETURN_IF_ERROR(Write(ids[i], bufs[i]));
+    for (size_t i = 0; i < n; ++i)
+      VEM_RETURN_IF_ERROR(RetriedWrite(ids[i], bufs[i]));
     return Status::OK();
   }
 
@@ -120,14 +134,28 @@ class BlockDevice {
   /// forms, overrides coalesce.
   virtual Status ReadBatchUncounted(const uint64_t* ids, void* const* bufs,
                                     size_t n) {
-    for (size_t i = 0; i < n; ++i)
-      VEM_RETURN_IF_ERROR(ReadUncounted(ids[i], bufs[i]));
+    for (size_t i = 0; i < n; ++i) {
+      if (retry_ == nullptr) {
+        VEM_RETURN_IF_ERROR(ReadUncounted(ids[i], bufs[i]));
+      } else {
+        VEM_RETURN_IF_ERROR(RunWithDiskRetry(
+            retry_, engine_, EngineDiskTag(ids[i]), ids[i],
+            [&, i] { return ReadUncounted(ids[i], bufs[i]); }));
+      }
+    }
     return Status::OK();
   }
   virtual Status WriteBatchUncounted(const uint64_t* ids,
                                      const void* const* bufs, size_t n) {
-    for (size_t i = 0; i < n; ++i)
-      VEM_RETURN_IF_ERROR(WriteUncounted(ids[i], bufs[i]));
+    for (size_t i = 0; i < n; ++i) {
+      if (retry_ == nullptr) {
+        VEM_RETURN_IF_ERROR(WriteUncounted(ids[i], bufs[i]));
+      } else {
+        VEM_RETURN_IF_ERROR(RunWithDiskRetry(
+            retry_, engine_, EngineDiskTag(ids[i]), ids[i],
+            [&, i] { return WriteUncounted(ids[i], bufs[i]); }));
+      }
+    }
     return Status::OK();
   }
 
@@ -272,14 +300,40 @@ class BlockDevice {
     governor_ = governor;
   }
 
+  /// Optional transient-fault retry policy (io/retry_policy.h). Not
+  /// owned; must outlive all I/O on this device. Null (the default)
+  /// disables retrying — every failure propagates on the first attempt,
+  /// bit-identical to the pre-retry substrate. Virtual so composite
+  /// devices forward it to the children that execute physical transfers
+  /// (the granularity where a failed attempt has charged nothing, which
+  /// is what makes whole-op re-execution safe for the IoStats planes).
+  RetryPolicy* retry_policy() const { return retry_; }
+  virtual void set_retry_policy(RetryPolicy* retry) { retry_ = retry; }
+
   /// I/O accounting for this device.
   IoStats& stats() { return stats_; }
   const IoStats& stats() const { return stats_; }
 
  protected:
+  /// Single counted transfers wrapped in the retry shim — the bodies of
+  /// the default batch loops. Safe because every device in the repo
+  /// charges a counted single-block op only on success, so a failed
+  /// attempt is charge-free and re-running it cannot double-count.
+  Status RetriedRead(uint64_t id, void* buf) {
+    if (retry_ == nullptr) return Read(id, buf);
+    return RunWithDiskRetry(retry_, engine_, EngineDiskTag(id), id,
+                            [&] { return Read(id, buf); });
+  }
+  Status RetriedWrite(uint64_t id, const void* buf) {
+    if (retry_ == nullptr) return Write(id, buf);
+    return RunWithDiskRetry(retry_, engine_, EngineDiskTag(id), id,
+                            [&] { return Write(id, buf); });
+  }
+
   IoStats stats_;
   IoEngine* engine_ = nullptr;
   PrefetchGovernor* governor_ = nullptr;
+  RetryPolicy* retry_ = nullptr;
 };
 
 /// RAII probe: captures a device's counters on construction; delta() gives

@@ -11,10 +11,35 @@
 // block held before. Recovery code must detect the damage by checksum,
 // not by error status, which is exactly what the WAL's per-record CRC
 // scan is for.
+// Fault-tolerance-plane extensions (io/retry_policy.h): beyond the
+// classic permanent faults above, the wrapper injects
+//  - TRANSIENT faults (SetTransientReadFault/SetTransientWriteFault):
+//    from the k-th transfer attempt, the next N attempts fail with
+//    Status::Unavailable, then attempts succeed again — the
+//    fail-then-succeed schedule retry/backoff is built to absorb.
+//    Failed attempts charge nothing, so a retried run keeps IoStats
+//    bit-identical to the fault-free one;
+//  - LATENCY (SetLatency): every transfer sleeps first, feeding the
+//    engine's per-disk latency EWMA and watchdog tests;
+//  - INDEFINITE STALLS (SetStallRead/SetStallWrite): the k-th attempt
+//    blocks on a condition variable until ReleaseStalls() — the hung-I/O
+//    shape the IoEngine watchdog (Options::io_deadline_ms) converts into
+//    Status::Timeout. Tests MUST call ReleaseStalls() before tearing
+//    down the engine, or its destructor joins a worker that never
+//    returns (deliberately: a real hung disk does not unhang for
+//    destructors either).
+// All schedules apply on both the counted and uncounted planes, sharing
+// one attempt counter per direction.
 #pragma once
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <cstring>
+#include <mutex>
+#include <string>
+#include <thread>
 #include <vector>
 
 #include "io/block_device.h"
@@ -38,10 +63,7 @@ class FaultyBlockDevice final : public BlockDevice {
   size_t block_size() const override { return inner_->block_size(); }
 
   Status Read(uint64_t id, void* buf) override {
-    if (++reads_seen_ == fail_read_at_) {
-      return Status::IOError("injected read fault #" +
-                             std::to_string(reads_seen_));
-    }
+    VEM_RETURN_IF_ERROR(OnReadAttempt());
     Status s = inner_->Read(id, buf);
     if (s.ok()) {
       stats_.block_reads++;
@@ -52,11 +74,10 @@ class FaultyBlockDevice final : public BlockDevice {
   }
 
   Status Write(uint64_t id, const void* buf) override {
-    if (++writes_seen_ == torn_write_at_) return TearWrite(id, buf);
-    if (writes_seen_ == fail_write_at_) {
-      return Status::IOError("injected write fault #" +
-                             std::to_string(writes_seen_));
-    }
+    bool torn = false;
+    Status inj = OnWriteAttempt(&torn);
+    if (torn) return TearWrite(id, buf);
+    VEM_RETURN_IF_ERROR(inj);
     Status s = inner_->Write(id, buf);
     if (s.ok()) {
       stats_.block_writes++;
@@ -77,6 +98,48 @@ class FaultyBlockDevice final : public BlockDevice {
     torn_bytes_ = bytes;
   }
 
+  /// Arm a transient read fault: from the at_read-th read attempt
+  /// (1-based, both planes), the next `times` attempts fail with
+  /// Status::Unavailable, then attempts succeed again. Failed attempts
+  /// charge nothing and DO advance the attempt counter, so "fail the
+  /// k-th transfer N times, then succeed" is attempts k..k+N-1 failing
+  /// and attempt k+N going through.
+  void SetTransientReadFault(uint64_t at_read, uint64_t times) {
+    transient_read_at_ = at_read;
+    transient_reads_left_ = times;
+  }
+  /// Write-side transient schedule, same semantics.
+  void SetTransientWriteFault(uint64_t at_write, uint64_t times) {
+    transient_write_at_ = at_write;
+    transient_writes_left_ = times;
+  }
+
+  /// Sleep this long before every transfer attempt (both directions,
+  /// both planes): a slow-but-correct disk for latency-EWMA tests.
+  void SetLatency(uint64_t micros) { latency_us_ = micros; }
+
+  /// Arm an indefinite stall on the N-th read/write attempt: the attempt
+  /// blocks until ReleaseStalls(). See the file comment for the teardown
+  /// obligation.
+  void SetStallRead(uint64_t at_read) { stall_read_at_ = at_read; }
+  void SetStallWrite(uint64_t at_write) { stall_write_at_ = at_write; }
+
+  /// Unblock every stalled (and future would-stall) attempt; they then
+  /// proceed normally into the inner device.
+  void ReleaseStalls() {
+    {
+      std::lock_guard<std::mutex> lk(stall_mu_);
+      stalls_released_ = true;
+    }
+    stall_cv_.notify_all();
+  }
+
+  /// Attempts currently blocked in a stall (poll before Wait in watchdog
+  /// tests, so the stalled job is provably on a worker, not stealable).
+  int stalled_now() const {
+    return stalled_now_.load(std::memory_order_acquire);
+  }
+
   // Uncounted plane: forwarded (when the inner device has one) with the
   // same injection schedule, so armed read-ahead/write-behind streams —
   // including striped devices with a faulty child — must surface the
@@ -87,18 +150,14 @@ class FaultyBlockDevice final : public BlockDevice {
     return inner_->SupportsUncounted();
   }
   Status ReadUncounted(uint64_t id, void* buf) override {
-    if (++reads_seen_ == fail_read_at_) {
-      return Status::IOError("injected read fault #" +
-                             std::to_string(reads_seen_));
-    }
+    VEM_RETURN_IF_ERROR(OnReadAttempt());
     return inner_->ReadUncounted(id, buf);
   }
   Status WriteUncounted(uint64_t id, const void* buf) override {
-    if (++writes_seen_ == torn_write_at_) return TearWrite(id, buf);
-    if (writes_seen_ == fail_write_at_) {
-      return Status::IOError("injected write fault #" +
-                             std::to_string(writes_seen_));
-    }
+    bool torn = false;
+    Status inj = OnWriteAttempt(&torn);
+    if (torn) return TearWrite(id, buf);
+    VEM_RETURN_IF_ERROR(inj);
     return inner_->WriteUncounted(id, buf);
   }
 
@@ -166,12 +225,81 @@ class FaultyBlockDevice final : public BlockDevice {
                            std::to_string(keep) + " bytes persisted)");
   }
 
+  /// Shared read-attempt prologue (both planes): count the attempt,
+  /// inject latency/stall, then transient and classic faults in that
+  /// order. OK means forward to the inner device.
+  Status OnReadAttempt() {
+    ++reads_seen_;
+    MaybeDelay();
+    MaybeStall(reads_seen_, stall_read_at_);
+    if (transient_reads_left_ > 0 && reads_seen_ >= transient_read_at_) {
+      transient_reads_left_--;
+      return Status::Unavailable("injected transient read fault, attempt #" +
+                                 std::to_string(reads_seen_));
+    }
+    if (reads_seen_ == fail_read_at_) {
+      return Status::IOError("injected read fault #" +
+                             std::to_string(reads_seen_));
+    }
+    return Status::OK();
+  }
+
+  /// Write-attempt prologue; *torn signals the torn-write schedule fired
+  /// (the caller runs TearWrite, which needs the id and payload).
+  Status OnWriteAttempt(bool* torn) {
+    ++writes_seen_;
+    MaybeDelay();
+    MaybeStall(writes_seen_, stall_write_at_);
+    if (writes_seen_ == torn_write_at_) {
+      *torn = true;
+      return Status::OK();
+    }
+    if (transient_writes_left_ > 0 && writes_seen_ >= transient_write_at_) {
+      transient_writes_left_--;
+      return Status::Unavailable("injected transient write fault, attempt #" +
+                                 std::to_string(writes_seen_));
+    }
+    if (writes_seen_ == fail_write_at_) {
+      return Status::IOError("injected write fault #" +
+                             std::to_string(writes_seen_));
+    }
+    return Status::OK();
+  }
+
+  void MaybeDelay() {
+    if (latency_us_ == 0) return;
+    std::this_thread::sleep_for(std::chrono::microseconds(latency_us_));
+  }
+
+  void MaybeStall(uint64_t attempt, uint64_t stall_at) {
+    if (stall_at == kNever || attempt != stall_at) return;
+    std::unique_lock<std::mutex> lk(stall_mu_);
+    stalled_now_.fetch_add(1, std::memory_order_acq_rel);
+    stall_cv_.wait(lk, [this] { return stalls_released_; });
+    stalled_now_.fetch_sub(1, std::memory_order_acq_rel);
+  }
+
   BlockDevice* inner_;
   uint64_t fail_read_at_, fail_write_at_;
   uint64_t torn_write_at_ = kNever;
   size_t torn_bytes_ = 0;
   uint64_t reads_seen_ = 0;
   uint64_t writes_seen_ = 0;
+  // Transient schedules (see SetTransientReadFault).
+  uint64_t transient_read_at_ = kNever;
+  uint64_t transient_reads_left_ = 0;
+  uint64_t transient_write_at_ = kNever;
+  uint64_t transient_writes_left_ = 0;
+  uint64_t latency_us_ = 0;
+  // Indefinite-stall mode (see SetStallRead/ReleaseStalls). The cv state
+  // is the only injection state engine workers may touch concurrently
+  // with the owning thread, hence the lock + atomic gauge.
+  uint64_t stall_read_at_ = kNever;
+  uint64_t stall_write_at_ = kNever;
+  std::mutex stall_mu_;
+  std::condition_variable stall_cv_;
+  bool stalls_released_ = false;
+  std::atomic<int> stalled_now_{0};
 };
 
 }  // namespace vem

@@ -112,8 +112,7 @@ FileBlockDevice::FileBlockDevice(std::string path, size_t block_size,
     direct_io_active_ = false;
   }
   if (fd_ < 0) {
-    RecordError(Status::IOError("open failed for " + path_ + ": " +
-                                std::strerror(errno)));
+    RecordError(StatusFromErrno(("open of " + path_).c_str(), -1, errno));
     return;
   }
   // O_CREAT made the file exist, but only in the directory's in-memory
@@ -137,8 +136,7 @@ FileBlockDevice::FileBlockDevice(std::string path, size_t block_size,
       written_extent_.store(blocks);
       synced_extent_.store(blocks);
     } else {
-      RecordError(Status::IOError("fstat failed for " + path_ + ": " +
-                                  std::strerror(errno)));
+      RecordError(StatusFromErrno(("fstat of " + path_).c_str(), -1, errno));
     }
   }
 }
@@ -155,13 +153,13 @@ void FileBlockDevice::SyncParentDir() {
   }
   int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
   if (dfd < 0) {
-    RecordError(Status::IOError("open of parent dir " + dir +
-                                " failed: " + std::strerror(errno)));
+    RecordError(StatusFromErrno(("open of parent dir " + dir).c_str(), -1,
+                                errno));
     return;
   }
   if (::fsync(dfd) != 0) {
-    RecordError(Status::IOError("fsync of parent dir " + dir +
-                                " failed: " + std::strerror(errno)));
+    RecordError(StatusFromErrno(("fsync of parent dir " + dir).c_str(), -1,
+                                errno));
   }
   ::close(dfd);
 }
@@ -223,8 +221,7 @@ Status FileBlockDevice::Sync() {
   // takes the full fsync. Pure overwrites keep the cheaper fdatasync.
   while ((grew ? ::fsync(fd_) : ::fdatasync(fd_)) != 0) {
     if (errno == EINTR) continue;
-    Status s = Status::IOError(std::string(grew ? "fsync" : "fdatasync") +
-                               " failed: " + std::strerror(errno));
+    Status s = StatusFromErrno(grew ? "fsync" : "fdatasync", -1, errno);
     RecordError(s);
     return s;
   }
@@ -242,6 +239,18 @@ Status FileBlockDevice::Sync() {
 }
 
 Status FileBlockDevice::ReadUncounted(uint64_t id, void* buf) {
+  if (retry_ == nullptr) return ReadUncountedImpl(id, buf);
+  return RunWithDiskRetry(retry_, engine_, EngineDiskTag(id), id,
+                          [&] { return ReadUncountedImpl(id, buf); });
+}
+
+Status FileBlockDevice::WriteUncounted(uint64_t id, const void* buf) {
+  if (retry_ == nullptr) return WriteUncountedImpl(id, buf);
+  return RunWithDiskRetry(retry_, engine_, EngineDiskTag(id), id,
+                          [&] { return WriteUncountedImpl(id, buf); });
+}
+
+Status FileBlockDevice::ReadUncountedImpl(uint64_t id, void* buf) {
   if (fd_ < 0) return Status::IOError("device not open: " + path_);
   if (id >= next_id_.load(std::memory_order_acquire)) {
     return Status::InvalidArgument("read of unallocated block " +
@@ -257,8 +266,8 @@ Status FileBlockDevice::ReadUncounted(uint64_t id, void* buf) {
                         static_cast<off_t>(id * block_size_ + got));
     if (n < 0) {
       if (errno == EINTR) continue;
-      return Status::IOError("pread failed: " +
-                             std::string(std::strerror(errno)));
+      return StatusFromErrno(
+          "pread", static_cast<int64_t>(id * block_size_ + got), errno);
     }
     if (n == 0) break;  // EOF: allocated but never written
     got += static_cast<size_t>(n);
@@ -272,7 +281,7 @@ Status FileBlockDevice::ReadUncounted(uint64_t id, void* buf) {
   return Status::OK();
 }
 
-Status FileBlockDevice::WriteUncounted(uint64_t id, const void* buf) {
+Status FileBlockDevice::WriteUncountedImpl(uint64_t id, const void* buf) {
   if (fd_ < 0) return Status::IOError("device not open: " + path_);
   if (id >= next_id_.load(std::memory_order_acquire)) {
     return Status::InvalidArgument("write of unallocated block " +
@@ -290,8 +299,8 @@ Status FileBlockDevice::WriteUncounted(uint64_t id, const void* buf) {
                          static_cast<off_t>(id * block_size_ + put));
     if (n < 0) {
       if (errno == EINTR) continue;
-      return Status::IOError("pwrite failed: " +
-                             std::string(std::strerror(errno)));
+      return StatusFromErrno(
+          "pwrite", static_cast<int64_t>(id * block_size_ + put), errno);
     }
     put += static_cast<size_t>(n);
   }
@@ -350,8 +359,8 @@ Status FileBlockDevice::TransferRun(uint64_t first_id, void* const* bufs,
       // charged, exactly as the per-block loop would have counted them.
       *blocks_completed = done / block_size_;
       if (write) NoteWrittenExtent(first_id, *blocks_completed);
-      return Status::IOError(std::string(write ? "pwritev" : "preadv") +
-                             " failed: " + std::strerror(errno));
+      return StatusFromErrno(write ? "pwritev" : "preadv",
+                             static_cast<int64_t>(off), errno);
     }
     if (n == 0) {
       if (write) {
@@ -417,8 +426,8 @@ Status FileBlockDevice::TransferRunDirect(uint64_t first_id,
           std::memcpy(bufs[i], target + i * block_size_, block_size_);
         }
       }
-      return Status::IOError(std::string(write ? "pwrite" : "pread") +
-                             " (O_DIRECT) failed: " + std::strerror(errno));
+      return StatusFromErrno(write ? "pwrite (O_DIRECT)" : "pread (O_DIRECT)",
+                             base_off + static_cast<int64_t>(done), errno);
     }
     if (n == 0) {
       if (write) {
@@ -469,7 +478,21 @@ Status FileBlockDevice::VectoredTransfer(const uint64_t* ids,
       len++;
     }
     size_t completed = 0;
-    Status s = TransferRun(ids[i], bufs + i, len, write, &completed);
+    // Whole-run retry on transient failure: each attempt resets
+    // `completed`, and charging below uses only the FINAL attempt's
+    // count, so a retried run charges exactly what the fault-free
+    // sequential loop would have.
+    Status s;
+    if (retry_ == nullptr) {
+      s = TransferRun(ids[i], bufs + i, len, write, &completed);
+    } else {
+      s = RunWithDiskRetry(retry_, engine_, EngineDiskTag(ids[i]), ids[i],
+                           [&, i, len] {
+                             completed = 0;
+                             return TransferRun(ids[i], bufs + i, len, write,
+                                                &completed);
+                           });
+    }
     if (counted && completed > 0) {
       // Same charge as `completed` single-block ops: this is still one
       // disk moving blocks, not a parallel step; on a mid-run error only
@@ -527,6 +550,7 @@ Status FileBlockDevice::VectoredTransferRing(IoRing* ring, const uint64_t* ids,
     size_t total = 0;     // bytes
     size_t done = 0;
     size_t completed_blocks = 0;
+    size_t attempts = 0;  // transient-retry budget consumed (policy-bounded)
     bool finished = false;
     Status error = Status::OK();
     // Direct-mode target: user memory (in_place), a slice of the
@@ -655,13 +679,41 @@ Status FileBlockDevice::VectoredTransferRing(IoRing* ring, const uint64_t* ids,
     }
     if (ops.empty()) break;
     Status s = ring->SubmitAndWait(ops.data(), ops.size());
+    if (engine_ != nullptr) engine_->ReportRingResult(s.ok());
     if (!s.ok()) {
-      // Submission itself failed: every in-flight run is charged for what
-      // it had already completed, and the batch reports the ring error.
+      // Ring submission itself failed. Instead of failing the batch,
+      // degrade live: finish every in-flight run on the worker-pool
+      // syscall path (idempotent — runs restart from offset 0, and
+      // charging uses only the final completed count). The engine's
+      // ReportRingResult above counts the strike; after
+      // kRingFailureLimit consecutive failures ring() goes null and the
+      // whole stack drops to preadv/pwritev for good.
       for (size_t oi = 0; oi < ops.size(); ++oi) {
         RingRun& r = runs[op_run[oi]];
-        r.completed_blocks = r.done / block_size_;
-        r.error = s;
+        size_t completed = 0;
+        Status fs;
+        if (retry_ == nullptr) {
+          fs = TransferRun(r.first_id, bufs + r.first, r.nblocks, write,
+                           &completed);
+        } else {
+          fs = RunWithDiskRetry(retry_, engine_, EngineDiskTag(r.first_id),
+                                r.first_id, [&] {
+                                  completed = 0;
+                                  return TransferRun(r.first_id,
+                                                     bufs + r.first, r.nblocks,
+                                                     write, &completed);
+                                });
+        }
+        r.completed_blocks = completed;
+        // TransferRun delivered straight into user memory; flag the run
+        // in-place so pass 4 does not overwrite it from the (stale)
+        // ring bounce target.
+        r.in_place = true;
+        if (fs.ok()) {
+          r.finished = true;
+        } else {
+          r.error = fs;
+        }
       }
       break;
     }
@@ -673,10 +725,25 @@ Status FileBlockDevice::VectoredTransferRing(IoRing* ring, const uint64_t* ids,
         continue;
       }
       if (res < 0) {
+        Status e = StatusFromErrno(
+            write ? "ring write" : "ring read",
+            static_cast<int64_t>(r.first_id * block_size_ + r.done),
+            static_cast<int>(-res));
+        // Transiently failed SQE: back off and resubmit from the run's
+        // resume offset (bounded by the policy's retry budget), feeding
+        // the per-disk health record like every other retried attempt.
+        if (e.IsTransient() && retry_ != nullptr &&
+            r.attempts < retry_->config().retry_limit) {
+          r.attempts++;
+          if (engine_ != nullptr) {
+            engine_->ReportDiskResult(EngineDiskTag(r.first_id), false, 0);
+          }
+          retry_->OnRetry(r.first_id, r.attempts);
+          pending = true;
+          continue;
+        }
         r.completed_blocks = r.done / block_size_;
-        r.error = Status::IOError(
-            std::string(write ? "ring write" : "ring read") +
-            " failed: " + std::strerror(static_cast<int>(-res)));
+        r.error = std::move(e);
         continue;
       }
       if (res == 0) {

@@ -146,6 +146,13 @@ class FileBlockDevice final : public BlockDevice {
   /// full fsync when the written extent grew past the last synced one.
   void NoteWrittenExtent(uint64_t first_id, size_t nblocks);
 
+  /// Single-block transfer bodies behind the retry shim: the public
+  /// ReadUncounted/WriteUncounted re-run these whole on a transient
+  /// failure (a failed attempt charges nothing, and each body resumes
+  /// EINTR shorts internally, so whole-body re-execution is idempotent).
+  Status ReadUncountedImpl(uint64_t id, void* buf);
+  Status WriteUncountedImpl(uint64_t id, const void* buf);
+
   /// Shared engine for all four batch entry points: splits [ids, ids+n)
   /// into maximal runs of contiguous ids (capped at the iovec limit) and
   /// issues one preadv/pwritev per run. `write` picks the direction;

@@ -61,6 +61,26 @@ uint64_t IndependentDiskDevice::Allocate() {
     cycle_pos_ = 0;
   }
   uint32_t disk = cycle_[cycle_pos_++];
+  // Quarantine-aware placement: while the engine's health monitor has a
+  // disk quarantined, new blocks avoid it (its existing blocks stay
+  // readable — retry still serves them) by walking further along the
+  // cycling permutation, up to one full circuit; with every disk sick
+  // the original pick stands. Fault-free runs never enter this branch,
+  // so seeded placement — and every stats-identity test built on it —
+  // is bit-identical with or without the health plane.
+  if (engine_ != nullptr && engine_->AnyQuarantined()) {
+    const size_t D = disks_.size();
+    size_t tried = 0;
+    while (tried < D && engine_->DiskQuarantined(reinterpret_cast<uintptr_t>(
+                            disks_[disk].get()))) {
+      if (cycle_pos_ >= cycle_.size()) {
+        rng_.Shuffle(&cycle_);
+        cycle_pos_ = 0;
+      }
+      disk = cycle_[cycle_pos_++];
+      tried++;
+    }
+  }
   uint64_t child = disks_[disk]->Allocate();
   uint64_t id;
   if (!free_list_.empty()) {
@@ -89,7 +109,17 @@ Status IndependentDiskDevice::Read(uint64_t id, void* buf) {
   if (!valid_ || !Lookup(id, &l)) {
     return Status::InvalidArgument("IndependentDiskDevice: bad block id");
   }
-  VEM_RETURN_IF_ERROR(disks_[l.disk]->Read(l.child_id, buf));
+  BlockDevice* disk = disks_[l.disk].get();
+  if (retry_ == nullptr) {
+    VEM_RETURN_IF_ERROR(disk->Read(l.child_id, buf));
+  } else {
+    // Per-block retry at the parent: the child's counted single-block
+    // Read charges only on success, so whole-op re-execution cannot
+    // double-count, and failed attempts feed the child head's health.
+    VEM_RETURN_IF_ERROR(RunWithDiskRetry(
+        retry_, engine_, reinterpret_cast<uintptr_t>(disk), l.child_id,
+        [&] { return disk->Read(l.child_id, buf); }));
+  }
   stats_.block_reads++;
   stats_.parallel_reads++;  // one head moved: one PDM step
   stats_.bytes_read += block_size_;
@@ -101,7 +131,14 @@ Status IndependentDiskDevice::Write(uint64_t id, const void* buf) {
   if (!valid_ || !Lookup(id, &l)) {
     return Status::InvalidArgument("IndependentDiskDevice: bad block id");
   }
-  VEM_RETURN_IF_ERROR(disks_[l.disk]->Write(l.child_id, buf));
+  BlockDevice* disk = disks_[l.disk].get();
+  if (retry_ == nullptr) {
+    VEM_RETURN_IF_ERROR(disk->Write(l.child_id, buf));
+  } else {
+    VEM_RETURN_IF_ERROR(RunWithDiskRetry(
+        retry_, engine_, reinterpret_cast<uintptr_t>(disk), l.child_id,
+        [&] { return disk->Write(l.child_id, buf); }));
+  }
   stats_.block_writes++;
   stats_.parallel_writes++;
   stats_.bytes_written += block_size_;
@@ -195,7 +232,11 @@ Status IndependentDiskDevice::FanOut(const uint64_t* ids, void* const* bufs,
     jobs.push_back([&disk_op, d] { return disk_op(d); });
     tags.push_back(reinterpret_cast<uintptr_t>(disks_[d].get()));
   }
-  return engine_->RunBatch(std::move(jobs), tags);
+  // Uncounted fan-out jobs are charge-free end to end, so they may also
+  // opt into the ENGINE's whole-job retry plane (when one is configured
+  // there); counted jobs charge per block inside the child and must rely
+  // on the finer-grained retries below them instead.
+  return engine_->RunBatch(std::move(jobs), tags, /*retryable=*/!counted);
 }
 
 Status IndependentDiskDevice::ReadBatch(const uint64_t* ids, void* const* bufs,
@@ -244,7 +285,11 @@ Status IndependentDiskDevice::ReadUncounted(uint64_t id, void* buf) {
   if (!valid_ || !Lookup(id, &l)) {
     return Status::InvalidArgument("IndependentDiskDevice: bad block id");
   }
-  return disks_[l.disk]->ReadUncounted(l.child_id, buf);
+  BlockDevice* disk = disks_[l.disk].get();
+  if (retry_ == nullptr) return disk->ReadUncounted(l.child_id, buf);
+  return RunWithDiskRetry(retry_, engine_,
+                          reinterpret_cast<uintptr_t>(disk), l.child_id,
+                          [&] { return disk->ReadUncounted(l.child_id, buf); });
 }
 
 Status IndependentDiskDevice::WriteUncounted(uint64_t id, const void* buf) {
@@ -252,7 +297,11 @@ Status IndependentDiskDevice::WriteUncounted(uint64_t id, const void* buf) {
   if (!valid_ || !Lookup(id, &l)) {
     return Status::InvalidArgument("IndependentDiskDevice: bad block id");
   }
-  return disks_[l.disk]->WriteUncounted(l.child_id, buf);
+  BlockDevice* disk = disks_[l.disk].get();
+  if (retry_ == nullptr) return disk->WriteUncounted(l.child_id, buf);
+  return RunWithDiskRetry(
+      retry_, engine_, reinterpret_cast<uintptr_t>(disk), l.child_id,
+      [&] { return disk->WriteUncounted(l.child_id, buf); });
 }
 
 Status IndependentDiskDevice::ReadBatchUncounted(const uint64_t* ids,
@@ -360,6 +409,14 @@ void IndependentDiskDevice::AccountWriteBatch(const uint64_t* ids,
   stats_.block_writes += blocks;
   stats_.parallel_writes += waves;
   stats_.bytes_written += blocks * block_size_;
+}
+
+void IndependentDiskDevice::set_retry_policy(RetryPolicy* retry) {
+  BlockDevice::set_retry_policy(retry);
+  // Children execute the physical transfers (and their batch loops are
+  // where per-block retry granularity lives), so they carry the policy
+  // too — mirroring set_io_engine.
+  for (auto& d : disks_) d->set_retry_policy(retry);
 }
 
 void IndependentDiskDevice::set_io_engine(IoEngine* engine) {

@@ -123,6 +123,11 @@ class IndependentDiskDevice final : public BlockDevice {
   /// the engine's per-disk depth gauge answers RouteHeadroom queries.
   void set_io_engine(IoEngine* engine) override;
 
+  /// Forwards the retry policy to every child (per-block retry lives in
+  /// the children's batch loops) and keeps it locally for the parent's
+  /// own single-block forwards.
+  void set_retry_policy(RetryPolicy* retry) override;
+
   /// Per-disk lease routing for the PrefetchGovernor: disk index + 1
   /// (route 0 stays the unrouted bucket).
   uint64_t PrefetchRoute(uint64_t block_id) const override;

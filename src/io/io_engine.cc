@@ -3,6 +3,7 @@
 #include <chrono>
 
 #include "io/io_ring.h"
+#include "io/retry_policy.h"
 
 namespace vem {
 
@@ -59,22 +60,44 @@ void IoEngine::NotePopped(const DiskQueue& dq) {
   if (dq.queue.empty()) nonempty_disk_queues_--;
 }
 
-IoEngine::Ticket IoEngine::Submit(std::function<Status()> op, uint64_t disk) {
+IoEngine::Ticket IoEngine::Submit(std::function<Status()> op, uint64_t disk,
+                                  bool retryable) {
   Ticket t;
   {
     std::unique_lock<std::mutex> lock(mu_);
     t = next_ticket_++;
     if (disk == kNoDisk) {
-      queue_.push_back(Job{t, disk, std::move(op)});
+      queue_.push_back(Job{t, disk, retryable, std::move(op)});
     } else {
       DiskQueue& dq = disk_queues_[disk];
-      dq.queue.push_back(Job{t, disk, std::move(op)});
+      dq.queue.push_back(Job{t, disk, retryable, std::move(op)});
       NotePushed(disk, dq);
     }
     queued_count_++;
   }
   work_cv_.notify_one();
   return t;
+}
+
+Status IoEngine::ExecuteJob(const Job& job) {
+  if (!job.retryable || retry_ == nullptr) return job.op();
+  // Whole-job retry is only submitted for charge-free (uncounted-plane)
+  // jobs — see Submit's contract. Each failed attempt feeds the disk's
+  // health record; a final success after failures does too, so a head
+  // that recovers via retry both accumulates and works off evidence.
+  size_t fails = 0;
+  Status s = retry_->Run(
+      job.ticket, job.op, [&](const Status& attempt) {
+        ++fails;
+        if (job.disk != kNoDisk) {
+          ReportDiskResult(job.disk, false, 0);
+        }
+        (void)attempt;
+      });
+  if (s.ok() && fails > 0 && job.disk != kNoDisk) {
+    ReportDiskResult(job.disk, true, 0);
+  }
+  return s;
 }
 
 bool IoEngine::Runnable() const {
@@ -135,7 +158,7 @@ Status IoEngine::Wait(Ticket t) {
     queue_.erase(it);
     queued_count_--;
     lock.unlock();
-    return job.op();
+    return ExecuteJob(job);
   }
   // The tagged scan is O(1) in the common cases: skipped outright when no
   // disk queue holds a pending job, and narrowed to the one hot queue
@@ -165,7 +188,7 @@ Status IoEngine::Wait(Ticket t) {
         queued_count_--;
         if (dq.queue.empty() && dq.in_flight == 0) disk_queues_.erase(qit);
         lock.unlock();
-        *out = job.op();
+        *out = ExecuteJob(job);
         return true;
       }
       return false;
@@ -180,7 +203,21 @@ Status IoEngine::Wait(Ticket t) {
       }
     }
   }
-  done_cv_.wait(lock, [this, t] { return done_.count(t) != 0; });
+  if (deadline_ms_ == 0) {
+    done_cv_.wait(lock, [this, t] { return done_.count(t) != 0; });
+  } else if (!done_cv_.wait_for(lock, std::chrono::milliseconds(deadline_ms_),
+                                [this, t] { return done_.count(t) != 0; })) {
+    // Hung-I/O watchdog: the job is running on a worker (it was not
+    // stealable above) and has blown its deadline. Abandon the ticket —
+    // the worker will discard the eventual result — and surface Timeout
+    // instead of hanging the pipeline. The transfer may still land; the
+    // caller must treat the buffer as poisoned, not reusable.
+    abandoned_.insert(t);
+    timeouts_++;
+    return Status::Timeout("IoEngine::Wait: job not complete within " +
+                           std::to_string(deadline_ms_) +
+                           " ms deadline; ticket abandoned");
+  }
   auto it = done_.find(t);
   Status s = std::move(it->second);
   done_.erase(it);
@@ -188,7 +225,7 @@ Status IoEngine::Wait(Ticket t) {
 }
 
 Status IoEngine::RunBatch(std::vector<std::function<Status()>> ops,
-                          const std::vector<uint64_t>& disks) {
+                          const std::vector<uint64_t>& disks, bool retryable) {
   if (ops.empty()) return Status::OK();
   // Farm out all but the first op; run that one here so the caller's core
   // contributes instead of blocking.
@@ -196,9 +233,11 @@ Status IoEngine::RunBatch(std::vector<std::function<Status()>> ops,
   tickets.reserve(ops.size() - 1);
   for (size_t i = 1; i < ops.size(); ++i) {
     uint64_t disk = i < disks.size() ? disks[i] : kNoDisk;
-    tickets.push_back(Submit(std::move(ops[i]), disk));
+    tickets.push_back(Submit(std::move(ops[i]), disk, retryable));
   }
-  Status first = ops[0]();
+  Job inline_job{0, disks.empty() ? kNoDisk : disks[0], retryable,
+                 std::move(ops[0])};
+  Status first = ExecuteJob(inline_job);
   for (Ticket t : tickets) {
     Status s = Wait(t);
     if (first.ok() && !s.ok()) first = s;
@@ -233,6 +272,11 @@ double IoEngine::HeadroomLocked() const {
 }
 
 double IoEngine::DiskHeadroomLocked(uint64_t disk_tag) const {
+  // A quarantined head has no headroom by definition: the gauge's
+  // consumers (governor, arbiter, streams) read 0.0 as "submitting more
+  // work here cannot help", which is exactly the quarantine contract.
+  auto hit = health_.find(disk_tag);
+  if (hit != health_.end() && hit->second.quarantined) return 0.0;
   double engine = HeadroomLocked();
   auto it = disk_queues_.find(disk_tag);
   if (it == disk_queues_.end()) return engine;  // idle head
@@ -280,6 +324,107 @@ void IoEngine::LabelDisk(uint64_t disk_tag, uint64_t route) {
   if (route == 0) return;  // route 0 is the whole-engine bucket
   std::lock_guard<std::mutex> lock(mu_);
   route_tags_[route] = disk_tag;
+  // Tags are device pointers; a fresh device landing on a recycled
+  // allocation must not inherit the dead device's health record.
+  auto hit = health_.find(disk_tag);
+  if (hit != health_.end()) {
+    if (hit->second.quarantined) quarantined_count_--;
+    health_.erase(hit);
+  }
+}
+
+void IoEngine::FoldHealthLocked(uint64_t disk_tag, bool ok,
+                                uint64_t service_ns) {
+  DiskHealthState& h = health_[disk_tag];
+  // The error fold starts from an implicit clean prior (0.0), NOT a
+  // first-sample seed: one transient blip must not jump the ewma to 1.0
+  // and quarantine a healthy disk — it takes three straight failures to
+  // cross kQuarantineEnter.
+  const double fail = ok ? 0.0 : 1.0;
+  h.error_ewma = 0.75 * h.error_ewma + 0.25 * fail;
+  if (ok && service_ns > 0) {
+    const double took = static_cast<double>(service_ns);
+    h.latency_ewma_ns = h.latency_ewma_ns == 0.0
+                            ? took
+                            : 0.75 * h.latency_ewma_ns + 0.25 * took;
+  }
+  h.samples++;
+  if (!h.quarantined && h.error_ewma > kQuarantineEnter) {
+    h.quarantined = true;
+    quarantined_count_++;
+  } else if (h.quarantined && h.error_ewma < kQuarantineExit) {
+    h.quarantined = false;
+    quarantined_count_--;
+  }
+}
+
+void IoEngine::ReportDiskResult(uint64_t disk_tag, bool ok,
+                                uint64_t service_ns) {
+  std::lock_guard<std::mutex> lock(mu_);
+  FoldHealthLocked(disk_tag, ok, service_ns);
+}
+
+IoEngine::DiskHealthSnapshot IoEngine::DiskHealth(uint64_t disk_tag) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  DiskHealthSnapshot snap;
+  auto it = health_.find(disk_tag);
+  if (it == health_.end()) return snap;
+  snap.error_ewma = it->second.error_ewma;
+  snap.latency_ewma_ns = it->second.latency_ewma_ns;
+  snap.samples = it->second.samples;
+  snap.quarantined = it->second.quarantined;
+  return snap;
+}
+
+bool IoEngine::DiskQuarantined(uint64_t disk_tag) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = health_.find(disk_tag);
+  return it != health_.end() && it->second.quarantined;
+}
+
+size_t IoEngine::quarantined_disks() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return quarantined_count_;
+}
+
+bool IoEngine::RouteQuarantined(uint64_t route) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (route == 0) return false;
+  auto rit = route_tags_.find(route);
+  if (rit == route_tags_.end()) return false;
+  auto hit = health_.find(rit->second);
+  return hit != health_.end() && hit->second.quarantined;
+}
+
+bool IoEngine::AnyQuarantined() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return quarantined_count_ > 0;
+}
+
+void IoEngine::ReportRingResult(bool ok) {
+  if (ok) {
+    ring_failures_.store(0, std::memory_order_relaxed);
+    return;
+  }
+  if (ring_failures_.fetch_add(1, std::memory_order_relaxed) + 1 >=
+      kRingFailureLimit) {
+    ring_disabled_.store(true, std::memory_order_release);
+  }
+}
+
+void IoEngine::set_deadline_ms(uint64_t ms) {
+  std::lock_guard<std::mutex> lock(mu_);
+  deadline_ms_ = ms;
+}
+
+uint64_t IoEngine::deadline_ms() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return deadline_ms_;
+}
+
+uint64_t IoEngine::timeouts() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return timeouts_;
 }
 
 double IoEngine::RouteHeadroom(uint64_t route) const {
@@ -306,7 +451,7 @@ void IoEngine::WorkerLoop() {
     }
     const bool tagged = job.disk != kNoDisk;
     const uint64_t began_ns = tagged ? SteadyNowNs() : 0;
-    Status s = job.op();
+    Status s = ExecuteJob(job);
     {
       std::unique_lock<std::mutex> lock(mu_);
       busy_workers_--;
@@ -317,7 +462,8 @@ void IoEngine::WorkerLoop() {
         // recycled allocation could alias a stale queue.
         auto it = disk_queues_.find(job.disk);
         it->second.in_flight--;
-        const double took = static_cast<double>(SteadyNowNs() - began_ns);
+        const uint64_t took_ns = SteadyNowNs() - began_ns;
+        const double took = static_cast<double>(took_ns);
         it->second.ewma_service_ns =
             it->second.ewma_service_ns == 0.0
                 ? took
@@ -325,8 +471,15 @@ void IoEngine::WorkerLoop() {
         if (it->second.queue.empty() && it->second.in_flight == 0) {
           disk_queues_.erase(it);
         }
+        // Health evidence: the job's FINAL status (retries already
+        // applied), plus its service time on success — a slow-but-
+        // correct head shows up in latency_ewma_ns, a failing one in
+        // error_ewma.
+        FoldHealthLocked(job.disk, s.ok(), s.ok() ? took_ns : 0);
       }
-      done_[job.ticket] = std::move(s);
+      if (abandoned_.erase(job.ticket) == 0) {
+        done_[job.ticket] = std::move(s);
+      }
     }
     // A finished tagged job frees a head: capped same-disk jobs may be
     // runnable now, so wake the workers too. Untagged completions free

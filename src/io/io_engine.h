@@ -53,6 +53,7 @@
 // not hardware prefetches.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -62,6 +63,7 @@
 #include <mutex>
 #include <thread>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "util/options.h"
@@ -70,15 +72,29 @@
 namespace vem {
 
 class IoRing;
+class RetryPolicy;
 
 /// Read-only view of submission headroom, keyed by prefetch route. The
 /// IoEngine is the production implementation; tests inject fakes so
 /// governor shaping is deterministic. 1.0 = idle, 0.0 = saturated
 /// (growing staging cannot help). Route 0 = the whole engine.
+///
+/// The gauge also carries the fault-tolerance plane's quarantine bit:
+/// RouteQuarantined(route) is true while the disk behind `route` is
+/// deemed sick by the health monitor (error-rate EWMA past threshold).
+/// Consumers treat it as "stop feeding this head": the PrefetchGovernor
+/// disarms leases on the route, the MemoryArbiter denies staging grows
+/// while any disk is quarantined. Defaults keep fakes and tests honest
+/// without code changes: nothing is ever quarantined.
 class DepthGauge {
  public:
   virtual ~DepthGauge() = default;
   virtual double RouteHeadroom(uint64_t route) const = 0;
+  virtual bool RouteQuarantined(uint64_t route) const {
+    (void)route;
+    return false;
+  }
+  virtual bool AnyQuarantined() const { return false; }
 };
 
 /// Fixed-size worker pool with ticketed submit/wait, per-disk queues,
@@ -100,9 +116,12 @@ class IoEngine : public DepthGauge {
   explicit IoEngine(size_t num_threads = 2, size_t disk_inflight_cap = 1,
                     IoBackend backend = IoBackend::kWorkerPool);
 
-  /// Convenience: thread count, per-disk cap, and backend from Options.
+  /// Convenience: thread count, per-disk cap, backend, and watchdog
+  /// deadline from Options.
   explicit IoEngine(const Options& opts)
-      : IoEngine(opts.io_threads, opts.disk_inflight_cap, opts.io_backend) {}
+      : IoEngine(opts.io_threads, opts.disk_inflight_cap, opts.io_backend) {
+    deadline_ms_ = opts.io_deadline_ms;
+  }
 
   /// Drains the queues (waits for every submitted job) and joins workers.
   ~IoEngine() override;
@@ -113,8 +132,13 @@ class IoEngine : public DepthGauge {
   /// Enqueue `op` for background execution. The closure must be safe to
   /// run on another thread and must not touch IoStats (see header note).
   /// `disk` != kNoDisk routes the job through that disk's queue and
-  /// in-flight cap.
-  Ticket Submit(std::function<Status()> op, uint64_t disk = kNoDisk);
+  /// in-flight cap. `retryable` opts the WHOLE job into the engine's
+  /// transient-retry policy (set_retry_policy): safe only when a failed
+  /// execution has charged nothing — uncounted-plane jobs qualify,
+  /// counted batches (which charge completed blocks before a mid-batch
+  /// error) must NOT set it and retry at finer granularity instead.
+  Ticket Submit(std::function<Status()> op, uint64_t disk = kNoDisk,
+                bool retryable = false);
 
   /// Block until the job behind `t` finishes; returns its Status. Each
   /// ticket is redeemable once (the result is consumed). If the job is
@@ -125,6 +149,11 @@ class IoEngine : public DepthGauge {
   /// bypasses its disk's in-flight cap: the waiter would otherwise sit
   /// idle blocked on exactly this transfer, which is the synchronous
   /// path's behavior anyway.
+  /// Hung-I/O watchdog: when deadline_ms() != 0 and the job is neither
+  /// stealable nor completed within the deadline, Wait abandons the
+  /// ticket and returns Status::Timeout instead of blocking forever; the
+  /// job's eventual result (it may still be running on a worker) is
+  /// discarded on completion.
   Status Wait(Ticket t);
 
   /// Run `ops` with maximal concurrency and return the first error (all
@@ -133,20 +162,51 @@ class IoEngine : public DepthGauge {
   /// still completes in one op's wall-clock time. `disks`, when
   /// non-empty, must parallel `ops` and tags each job's queue (the
   /// caller-run op bypasses its cap, as in Wait's self-steal).
+  /// `retryable` as in Submit, applied to every op of the batch.
   Status RunBatch(std::vector<std::function<Status()>> ops,
-                  const std::vector<uint64_t>& disks = {});
+                  const std::vector<uint64_t>& disks = {},
+                  bool retryable = false);
 
   size_t num_threads() const { return workers_.size(); }
   size_t disk_inflight_cap() const { return disk_inflight_cap_; }
 
   /// Backend actually in force: the request, downgraded to kWorkerPool
-  /// when ring creation failed at construction (runtime fallback).
-  IoBackend backend() const { return backend_; }
+  /// when ring creation failed at construction (runtime fallback) or
+  /// when persistent submission failures disabled the ring mid-run.
+  IoBackend backend() const {
+    return ring_disabled_.load(std::memory_order_relaxed)
+               ? IoBackend::kWorkerPool
+               : backend_;
+  }
 
-  /// The submission ring, or null on the worker-pool backend. Devices
-  /// route their transfers through it; they must not outlive the engine
-  /// once they register fds/buffers.
-  IoRing* ring() const { return ring_.get(); }
+  /// The submission ring, or null on the worker-pool backend (including
+  /// after mid-run degradation — devices re-read ring() per transfer, so
+  /// a disabled ring drops the whole stack onto preadv/pwritev without
+  /// touching in-flight work). Devices route their transfers through it;
+  /// they must not outlive the engine once they register fds/buffers.
+  IoRing* ring() const {
+    return ring_disabled_.load(std::memory_order_acquire) ? nullptr
+                                                          : ring_.get();
+  }
+
+  /// Devices report each ring submission outcome here. A run of
+  /// kRingFailureLimit consecutive failures permanently degrades the
+  /// engine to the worker pool (ring() -> null, backend() ->
+  /// kWorkerPool); any success resets the run. The ring object itself
+  /// stays alive so workers mid-transfer race nothing.
+  void ReportRingResult(bool ok);
+  static constexpr uint32_t kRingFailureLimit = 3;
+
+  /// Optional engine-level retry policy for jobs submitted with
+  /// retryable=true. Not owned; set before the first submission.
+  void set_retry_policy(RetryPolicy* retry) { retry_ = retry; }
+  RetryPolicy* retry_policy() const { return retry_; }
+
+  /// Watchdog deadline (Options::io_deadline_ms); 0 waits forever.
+  void set_deadline_ms(uint64_t ms);
+  uint64_t deadline_ms() const;
+  /// Jobs abandoned by Wait after the deadline (observability gauge).
+  uint64_t timeouts() const;
 
   // ------------------------------------------------------- depth gauge
   /// Jobs waiting in any queue (not yet picked up by a worker).
@@ -185,8 +245,43 @@ class IoEngine : public DepthGauge {
   void LabelDisk(uint64_t disk_tag, uint64_t route);
 
   /// DepthGauge: headroom of the disk labeled `route`, or the whole
-  /// engine for route 0 / unlabeled routes.
+  /// engine for route 0 / unlabeled routes. A quarantined disk reports
+  /// 0.0 — no headroom is the gauge's language for "stop feeding it".
   double RouteHeadroom(uint64_t route) const override;
+
+  // ------------------------------------------------ per-disk health
+  /// One disk's health as the monitor sees it. error_ewma in [0, 1] is
+  /// an exponentially-weighted failure rate (alpha 0.25: three straight
+  /// failures from clean crosses the quarantine-enter bar, roughly five
+  /// straight successes clear it); latency_ewma_ns folds worker-observed
+  /// service times of successful jobs.
+  struct DiskHealthSnapshot {
+    double error_ewma = 0.0;
+    double latency_ewma_ns = 0.0;
+    uint64_t samples = 0;
+    bool quarantined = false;
+  };
+
+  /// Evidence feed. Worker-executed tagged jobs report automatically
+  /// (result + service time); device-side retry shims (RunWithDiskRetry)
+  /// report each failed ATTEMPT, so a head whose faults are absorbed by
+  /// retries still accumulates error evidence, and the final success so
+  /// a recovered head can leave quarantine. service_ns 0 skips the
+  /// latency fold.
+  void ReportDiskResult(uint64_t disk_tag, bool ok, uint64_t service_ns = 0);
+
+  DiskHealthSnapshot DiskHealth(uint64_t disk_tag) const;
+  bool DiskQuarantined(uint64_t disk_tag) const;
+  size_t quarantined_disks() const;
+
+  /// DepthGauge: quarantine state of the disk labeled `route` (false for
+  /// route 0 / unlabeled routes), and whether ANY disk is quarantined.
+  bool RouteQuarantined(uint64_t route) const override;
+  bool AnyQuarantined() const override;
+
+  // Quarantine hysteresis on error_ewma.
+  static constexpr double kQuarantineEnter = 0.5;
+  static constexpr double kQuarantineExit = 0.15;
 
  private:
   void WorkerLoop();
@@ -194,7 +289,14 @@ class IoEngine : public DepthGauge {
   struct Job {
     Ticket ticket;
     uint64_t disk;
+    bool retryable = false;
     std::function<Status()> op;
+  };
+  struct DiskHealthState {
+    double error_ewma = 0.0;
+    double latency_ewma_ns = 0.0;
+    uint64_t samples = 0;
+    bool quarantined = false;
   };
   struct DiskQueue {
     std::deque<Job> queue;
@@ -215,6 +317,13 @@ class IoEngine : public DepthGauge {
   void NotePopped(const DiskQueue& dq);
   double HeadroomLocked() const;
   double DiskHeadroomLocked(uint64_t disk_tag) const;
+  /// Run a job outside the lock, applying the engine retry policy to
+  /// retryable jobs (failed attempts feed the job's disk health).
+  Status ExecuteJob(const Job& job);
+  /// Fold one result into a disk's health state and flip quarantine at
+  /// the hysteresis bars (under mu_). service_ns 0 skips the latency
+  /// fold (device-side attempt evidence carries no clean timing).
+  void FoldHealthLocked(uint64_t disk_tag, bool ok, uint64_t service_ns);
 
   mutable std::mutex mu_;
   std::condition_variable work_cv_;  // signals workers: job runnable/stop
@@ -232,11 +341,31 @@ class IoEngine : public DepthGauge {
   size_t nonempty_disk_queues_ = 0;
   uint64_t last_nonempty_disk_ = 0;
   std::map<uint64_t, uint64_t> route_tags_;  // prefetch route -> disk tag
+  // Health history outlives DiskQueue entries deliberately: queues are
+  // erased when drained (see WorkerLoop), but error evidence must
+  // persist across drains or a flaky-but-bursty disk would reset its
+  // record between batches. LabelDisk resets a tag's entry, handling
+  // recycled device pointers.
+  std::map<uint64_t, DiskHealthState> health_;
+  size_t quarantined_count_ = 0;
   std::unordered_map<Ticket, Status> done_;
+  // Tickets Wait gave up on (watchdog): completions land here instead of
+  // done_ and are discarded, so abandoned results neither leak nor
+  // satisfy a later stray Wait.
+  std::unordered_set<Ticket> abandoned_;
+  uint64_t deadline_ms_ = 0;
+  uint64_t timeouts_ = 0;
   Ticket next_ticket_ = 1;
   bool stop_ = false;
   IoBackend backend_ = IoBackend::kWorkerPool;
   std::unique_ptr<IoRing> ring_;
+  // Mid-run ring degradation: flipped by ReportRingResult after
+  // kRingFailureLimit consecutive submission failures. The ring object
+  // is never freed while workers may touch it; ring() just stops
+  // handing it out.
+  std::atomic<bool> ring_disabled_{false};
+  std::atomic<uint32_t> ring_failures_{0};
+  RetryPolicy* retry_ = nullptr;
   std::vector<std::thread> workers_;
 };
 

@@ -2,14 +2,32 @@
 
 #include <atomic>
 
+#include "io/retry_policy.h"
+
 namespace vem {
 
 namespace {
 std::atomic<bool> g_force_unavailable{false};
+std::atomic<int> g_force_submit_failures{0};
 }  // namespace
 
 void IoRing::ForceUnavailableForTest(bool unavailable) {
   g_force_unavailable.store(unavailable, std::memory_order_relaxed);
+}
+
+void IoRing::ForceSubmitFailuresForTest(int count) {
+  g_force_submit_failures.store(count, std::memory_order_relaxed);
+}
+
+bool IoRing::ConsumeForcedSubmitFailure() {
+  int cur = g_force_submit_failures.load(std::memory_order_relaxed);
+  while (cur > 0) {
+    if (g_force_submit_failures.compare_exchange_weak(
+            cur, cur - 1, std::memory_order_relaxed)) {
+      return true;
+    }
+  }
+  return false;
 }
 
 #ifdef VEM_WITH_IOURING
@@ -251,6 +269,10 @@ void IoRing::UnregisterBuffer(int slot) {
 }
 
 Status IoRing::SubmitAndWait(Op* ops, size_t n) {
+  if (ConsumeForcedSubmitFailure()) {
+    return Status::Unavailable(
+        "io_uring submission failure injected for test");
+  }
   std::lock_guard<std::mutex> lock(mu_);
   auto* sqes = static_cast<struct io_uring_sqe*>(sqes_);
   auto* cqes = static_cast<struct io_uring_cqe*>(cqes_);
@@ -296,8 +318,7 @@ Status IoRing::SubmitAndWait(Op* ops, size_t n) {
                        IORING_ENTER_GETEVENTS);
       if (r < 0) {
         if (errno == EINTR || errno == EAGAIN) continue;
-        return Status::IOError("io_uring_enter failed: " +
-                               std::string(std::strerror(errno)));
+        return StatusFromErrno("io_uring_enter", -1, errno);
       }
       submitted += static_cast<unsigned>(r);
       // Drain every CQE available; all in-flight SQEs belong to this

@@ -79,6 +79,12 @@ class IoRing {
   /// io_uring so the engine's runtime fallback can be exercised anywhere.
   static void ForceUnavailableForTest(bool unavailable);
 
+  /// Test hook: make the next `count` SubmitAndWait calls fail with
+  /// Status::Unavailable before touching the ring, simulating persistent
+  /// submission failure so mid-run degradation to the worker pool
+  /// (IoEngine::ReportRingResult) can be exercised on any kernel.
+  static void ForceSubmitFailuresForTest(int count);
+
   ~IoRing();
   IoRing(const IoRing&) = delete;
   IoRing& operator=(const IoRing&) = delete;
@@ -106,6 +112,8 @@ class IoRing {
  private:
   IoRing() = default;
   bool Init(unsigned entries);
+  /// True when a forced submission failure (test hook) should fire now.
+  static bool ConsumeForcedSubmitFailure();
 
   int ring_fd_ = -1;
   unsigned sq_entries_ = 0;

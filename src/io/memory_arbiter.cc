@@ -225,6 +225,16 @@ size_t MemoryArbiter::DoStagingGrow(StagingLease* lease, size_t want) {
   // grow outright and fractional headroom grants a proportional share.
   // Shaped-away memory never arms pool-reclaim pressure (the pool is
   // not at fault; the engine is).
+  // Quarantine gate: while any disk is quarantined by the engine's
+  // health monitor, staging growth is frozen — deeper read-ahead during
+  // a fault episode multiplies traffic that will land on the retry path,
+  // and the sick head's wave is the one the deeper window would wait on
+  // anyway. The withheld memory stays available to the cache side; the
+  // governor re-requests once the quarantine lifts.
+  if (gauge_ != nullptr && want > 0 && gauge_->AnyQuarantined()) {
+    quarantine_denied_grows_++;
+    return 0;
+  }
   if (gauge_ != nullptr && want > 0) {
     double h = gauge_->RouteHeadroom(0);
     if (h < 1.0) {
@@ -317,6 +327,10 @@ void StagingLease::ReportUsage(size_t staged_blocks, double waste_ewma,
 
 // --------------------------------------------------------- introspection
 
+size_t MemoryArbiter::quarantine_denied_grows() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return quarantine_denied_grows_;
+}
 size_t MemoryArbiter::charged_blocks() const {
   std::lock_guard<std::mutex> lock(mu_);
   return charged_blocks_;

@@ -223,6 +223,9 @@ class MemoryArbiter {
   size_t staging_sheds() const;   ///< staging targets lowered
   size_t denied_grows() const;    ///< grow requests with no headroom
   size_t saturation_denied_grows() const;  ///< grows shaped away: no headroom
+  size_t quarantine_denied_grows() const;  ///< grows denied: a disk is
+                                           ///< quarantined by the engine's
+                                           ///< health monitor
 
   uint64_t now_ns() const { return clock_(); }
 
@@ -268,6 +271,7 @@ class MemoryArbiter {
   size_t staging_sheds_ = 0;
   size_t denied_grows_ = 0;
   size_t saturation_denied_grows_ = 0;
+  size_t quarantine_denied_grows_ = 0;
 };
 
 /// Convenience bundle: one machine memory built from Options — arbiter,

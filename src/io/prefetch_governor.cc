@@ -92,6 +92,17 @@ std::unique_ptr<PrefetchGovernor::Lease> PrefetchGovernor::Arm(
   // traffic all lands in route 0, whose history is the device-global
   // shape of old. A fresh route arms optimistically and earns its own
   // record — initial_depth keeps that experiment cheap.
+  // Quarantine gate: while the health monitor has this route's disk
+  // quarantined, read-ahead on it is exactly wrong — speculative depth
+  // multiplies traffic on a head that is failing or slow, and every
+  // staged block rides the retry path. Refuse outright (no probe: the
+  // quarantine exit, driven by retry successes on demand traffic, is
+  // the re-arm signal). Never touches IoStats — depth is a wall-clock
+  // knob.
+  if (grant > 0 && gauge_ != nullptr && gauge_->RouteQuarantined(route)) {
+    grant = 0;
+    quarantine_disarms_++;
+  }
   RouteState& rs = routes_[route];
   double waste = rs.waste_ewma;
   bool have_waste = rs.have_history;
@@ -197,7 +208,17 @@ void PrefetchGovernor::Adapt(Lease* lease) {
   ReconcileBudget();  // adopt a renegotiated staging lease, if any
   const size_t staged = lease->consumed_blocks_ + lease->unused_blocks_;
   const size_t depth = lease->depth_;
-  if (depth > 0 && staged > 0 && lease->unused_blocks_ * 2 > staged) {
+  if (depth > 0 && gauge_ != nullptr &&
+      gauge_->RouteQuarantined(lease->route_)) {
+    // The route's disk went sick mid-lease: hand the staging back and go
+    // synchronous now. Demand traffic (still served, via retry) is the
+    // evidence stream that can lift the quarantine; speculative depth
+    // would just pile more load on a failing head.
+    staged_blocks_ -= 2 * depth;
+    lease->depth_ = 0;
+    disarm_decisions_++;
+    quarantine_disarms_++;
+  } else if (depth > 0 && staged > 0 && lease->unused_blocks_ * 2 > staged) {
     // Most of the staging is thrown away: no overlap benefit at this
     // depth. Halve; below the floor, disarm and hand the budget back.
     size_t next = depth / 2;
@@ -380,6 +401,10 @@ double PrefetchGovernor::lease_windows_ewma() const {
 size_t PrefetchGovernor::saturation_skips() const {
   std::lock_guard<std::mutex> lock(mu_);
   return saturation_skips_;
+}
+size_t PrefetchGovernor::quarantine_disarms() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return quarantine_disarms_;
 }
 PrefetchGovernor::RouteShape PrefetchGovernor::route_shape(
     uint64_t route) const {

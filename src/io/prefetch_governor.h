@@ -221,6 +221,9 @@ class PrefetchGovernor {
   size_t grow_decisions() const;
   size_t shrink_decisions() const;
   size_t disarm_decisions() const;
+  size_t quarantine_disarms() const;  ///< arms refused / leases disarmed
+                                      ///< because the route's disk is
+                                      ///< quarantined by the health monitor
   double waste_ewma() const;       ///< global staged-unused history [0,1]
   double stall_ewma() const;       ///< fraction of recent leases that stalled
   double lease_windows_ewma() const;  ///< typical lease lifetime (windows)
@@ -279,6 +282,7 @@ class PrefetchGovernor {
   size_t shrink_decisions_ = 0;
   size_t disarm_decisions_ = 0;
   size_t saturation_skips_ = 0;
+  size_t quarantine_disarms_ = 0;
   double waste_ewma_ = 0.0;
   double stall_ewma_ = 0.0;
   double lease_windows_ewma_ = 0.0;

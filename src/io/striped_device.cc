@@ -54,6 +54,11 @@ Status StripedDevice::ParallelStep(const std::function<Status(size_t)>& op) {
   return engine_->RunBatch(std::move(jobs), tags);
 }
 
+void StripedDevice::set_retry_policy(RetryPolicy* retry) {
+  BlockDevice::set_retry_policy(retry);
+  for (auto& d : disks_) d->set_retry_policy(retry);
+}
+
 void StripedDevice::set_io_engine(IoEngine* engine) {
   BlockDevice::set_io_engine(engine);
   for (auto& d : disks_) d->set_io_engine(engine);

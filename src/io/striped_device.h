@@ -85,6 +85,11 @@ class StripedDevice final : public BlockDevice {
   /// transport (worker thread vs the engine's io_uring ring).
   void set_io_engine(IoEngine* engine) override;
 
+  /// Forwards the retry policy to every child: the lockstep stripe's
+  /// physical transfers run in the children, so per-block retry
+  /// granularity lives there too.
+  void set_retry_policy(RetryPolicy* retry) override;
+
   /// Durability barrier over every child disk; first failure wins.
   Status Sync() override {
     for (auto& d : disks_) VEM_RETURN_IF_ERROR(d->Sync());

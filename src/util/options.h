@@ -125,6 +125,32 @@ struct Options {
   /// device at commit.
   bool enable_wal = false;
 
+  /// Fault-tolerance plane (io/retry_policy.h): maximum number of
+  /// RETRIES (attempts - 1) for a transiently failing transfer. 0 (the
+  /// default) disables retrying entirely — every path is bit-identical
+  /// to the pre-retry substrate. Retries apply only to Status values
+  /// whose IsTransient() is true; permanent errors always propagate on
+  /// the first attempt. Retries never touch the logical IoStats planes:
+  /// they ride a separate physical gauge (RetryPolicy::retries /
+  /// retry_backoff_ns).
+  size_t io_retry_limit = 0;
+
+  /// First backoff delay, in microseconds. Each subsequent retry doubles
+  /// the cap (bounded exponential) and sleeps a deterministically
+  /// jittered fraction of it in [cap/2, cap).
+  uint64_t io_retry_base_us = 100;
+
+  /// Upper bound on a single backoff delay, in microseconds.
+  uint64_t io_retry_max_us = 20000;
+
+  /// Hung-I/O watchdog deadline for IoEngine jobs, in milliseconds.
+  /// 0 (the default) waits forever — the historical behavior. When set,
+  /// IoEngine::Wait gives up on a job that has not completed within the
+  /// deadline and returns Status::Timeout instead of blocking forever;
+  /// the abandoned job's eventual result is discarded. This is a
+  /// liveness backstop, not a retry trigger (see Status::IsTransient).
+  uint64_t io_deadline_ms = 0;
+
   /// Group-commit window in microseconds: a committer that finds no
   /// fsync in flight waits this long before paying one, so concurrent
   /// commits batch under a single log force. 0 (the default) syncs

@@ -23,6 +23,8 @@ class Status {
     kOutOfMemory = 5,
     kNotSupported = 6,
     kBusy = 7,
+    kTimeout = 8,
+    kUnavailable = 9,
   };
 
   Status() : code_(Code::kOk) {}
@@ -58,6 +60,18 @@ class Status {
   static Status Busy(std::string msg) {
     return Status(Code::kBusy, std::move(msg));
   }
+  /// An operation exceeded its deadline (hung-I/O watchdog,
+  /// Options::io_deadline_ms). The transfer may still be in flight on a
+  /// worker; the resource it holds is abandoned, not reclaimed.
+  static Status Timeout(std::string msg) {
+    return Status(Code::kTimeout, std::move(msg));
+  }
+  /// A resource is transiently unavailable (EAGAIN-class syscall
+  /// failures, transient device faults). Retry with backoff is expected
+  /// to succeed; nothing is structurally wrong with the data.
+  static Status Unavailable(std::string msg) {
+    return Status(Code::kUnavailable, std::move(msg));
+  }
 
   bool ok() const { return code_ == Code::kOk; }
   bool IsIOError() const { return code_ == Code::kIOError; }
@@ -67,6 +81,20 @@ class Status {
   bool IsOutOfMemory() const { return code_ == Code::kOutOfMemory; }
   bool IsNotSupported() const { return code_ == Code::kNotSupported; }
   bool IsBusy() const { return code_ == Code::kBusy; }
+  bool IsTimeout() const { return code_ == Code::kTimeout; }
+  bool IsUnavailable() const { return code_ == Code::kUnavailable; }
+
+  /// Error taxonomy for the fault-tolerance plane (io/retry_policy.h):
+  /// true when retrying the same operation can plausibly succeed —
+  /// nothing is structurally wrong, a resource was momentarily held or
+  /// slow. Permanent categories (kIOError, kCorruption, ...) must
+  /// propagate; retrying them only delays the inevitable and can mask
+  /// real damage. kTimeout is deliberately NOT transient: the watchdog
+  /// fires after retries are exhausted at lower layers, and the stalled
+  /// transfer may still land later — re-issuing it races the straggler.
+  bool IsTransient() const {
+    return code_ == Code::kBusy || code_ == Code::kUnavailable;
+  }
 
   Code code() const { return code_; }
   const std::string& message() const { return message_; }
@@ -84,6 +112,8 @@ class Status {
       case Code::kOutOfMemory: name = "OutOfMemory"; break;
       case Code::kNotSupported: name = "NotSupported"; break;
       case Code::kBusy: name = "Busy"; break;
+      case Code::kTimeout: name = "Timeout"; break;
+      case Code::kUnavailable: name = "Unavailable"; break;
     }
     return std::string(name) + ": " + message_;
   }

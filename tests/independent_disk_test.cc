@@ -15,6 +15,11 @@
 //  - forecast-merge equivalence: same output and block transfers as the
 //    plain reader merge, strictly fewer parallel read steps on D > 1;
 //  - faulty-child propagation on both planes;
+//  - fault tolerance: transient-fault schedules absorbed by the retry
+//    plane leave parent AND child IoStats bit-identical to the
+//    fault-free run (engine off and on); quarantined disks are skipped
+//    by randomized-cycling placement while their existing blocks stay
+//    readable, and recovery evidence re-admits them;
 //  - per-route governor history (one disk's waste does not disarm the
 //    other heads) and the engine-saturation gate on staging grows
 //    (governor depth grows and arbiter staging grows both refuse while
@@ -37,6 +42,7 @@
 #include "io/memory_arbiter.h"
 #include "io/memory_block_device.h"
 #include "io/prefetch_governor.h"
+#include "io/retry_policy.h"
 #include "sort/external_sort.h"
 #include "util/random.h"
 
@@ -428,6 +434,185 @@ TEST(IndependentDiskFaults, ForecastMergeSurfacesReadError) {
   ExtVector<uint64_t> out(&dev);
   Status s = sorter.Sort(input, &out);
   EXPECT_TRUE(s.IsIOError()) << s.ToString();
+}
+
+// ------------------------------------------------------ fault tolerance
+
+/// Four Faulty-wrapped memory children so clean and faulted runs share
+/// one stats structure; `inject` arms transient schedules on two heads.
+struct FaultWorkloadResult {
+  IoStats parent;
+  std::vector<IoStats> children;
+  std::vector<uint64_t> output;
+};
+
+FaultWorkloadResult RunTransientFaultWorkload(bool inject,
+                                              RetryPolicy* policy,
+                                              IoEngine* engine) {
+  std::vector<std::unique_ptr<MemoryBlockDevice>> inners;
+  std::vector<FaultyBlockDevice*> wrappers;
+  std::vector<std::unique_ptr<BlockDevice>> disks;
+  for (int d = 0; d < 4; ++d) {
+    inners.push_back(std::make_unique<MemoryBlockDevice>(kBlock));
+    auto w = std::make_unique<FaultyBlockDevice>(inners.back().get());
+    wrappers.push_back(w.get());
+    disks.push_back(std::move(w));
+  }
+  IndependentDiskDevice dev(std::move(disks), kSeed);
+  EXPECT_TRUE(dev.valid());
+  if (engine != nullptr) dev.set_io_engine(engine);
+  if (policy != nullptr) dev.set_retry_policy(policy);
+  if (inject) {
+    // Fail one read attempt twice and one write attempt twice on head 1,
+    // one of each once on head 3 — all inside the sort's I/O schedule.
+    wrappers[1]->SetTransientReadFault(/*at_read=*/50, /*times=*/2);
+    wrappers[1]->SetTransientWriteFault(/*at_write=*/30, /*times=*/2);
+    wrappers[3]->SetTransientReadFault(/*at_read=*/80, /*times=*/1);
+    wrappers[3]->SetTransientWriteFault(/*at_write=*/40, /*times=*/1);
+  }
+
+  FaultWorkloadResult res;
+  Rng rng(41);
+  std::vector<uint64_t> data(20000);
+  for (auto& v : data) v = rng.Next();
+  IoProbe probe(dev);
+  ExtVector<uint64_t> input(&dev);
+  EXPECT_TRUE(input.AppendAll(data.data(), data.size(), /*depth=*/8).ok());
+  ExternalSorter<uint64_t> sorter(&dev, /*memory=*/8 * kBlock);
+  sorter.set_forecast_merge(true);
+  sorter.set_prefetch_depth(8);
+  ExtVector<uint64_t> out(&dev);
+  Status s = sorter.Sort(input, &out);
+  EXPECT_TRUE(s.ok()) << s.ToString();
+  EXPECT_GT(sorter.metrics().initial_runs, 1u);
+  EXPECT_TRUE(out.ReadAll(&res.output).ok());
+  res.parent = probe.delta();
+  for (size_t d = 0; d < dev.num_disks(); ++d) {
+    res.children.push_back(dev.disk_stats(d));
+  }
+  dev.set_io_engine(nullptr);
+  return res;
+}
+
+void ExpectBitIdentical(const FaultWorkloadResult& a,
+                        const FaultWorkloadResult& b, const char* what) {
+  EXPECT_EQ(a.output, b.output) << what;
+  EXPECT_EQ(a.parent, b.parent) << what;
+  ASSERT_EQ(a.children.size(), b.children.size());
+  for (size_t d = 0; d < a.children.size(); ++d) {
+    EXPECT_EQ(a.children[d], b.children[d]) << what << " child " << d;
+  }
+}
+
+// The acceptance bar of the fault-tolerance plane: an external sort on
+// independent disks completes under injected transient faults with
+// logical IoStats — parent and every child — bit-identical to the
+// fault-free run. Retries happen (the physical gauge shows them) but the
+// cost model cannot see them.
+TEST(IndependentDiskFaultTolerance, TransientFaultsSortStatsIdentical) {
+  RetryPolicy::Config cfg;
+  cfg.retry_limit = 3;
+  cfg.base_us = 0;  // no wall-clock sleeping inside the test
+  RetryPolicy policy(cfg);
+  FaultWorkloadResult clean =
+      RunTransientFaultWorkload(false, nullptr, nullptr);
+  FaultWorkloadResult faulted =
+      RunTransientFaultWorkload(true, &policy, nullptr);
+  EXPECT_TRUE(std::is_sorted(clean.output.begin(), clean.output.end()));
+  EXPECT_GE(policy.retries(), 6u);  // every scheduled fault really fired
+  ExpectBitIdentical(clean, faulted, "sync");
+}
+
+TEST(IndependentDiskFaultTolerance, TransientFaultsWithEngineStatsIdentical) {
+  RetryPolicy::Config cfg;
+  cfg.retry_limit = 3;
+  cfg.base_us = 0;
+  RetryPolicy policy(cfg);
+  IoEngine clean_eng(3);
+  IoEngine fault_eng(3);
+  FaultWorkloadResult clean =
+      RunTransientFaultWorkload(false, nullptr, &clean_eng);
+  FaultWorkloadResult faulted =
+      RunTransientFaultWorkload(true, &policy, &fault_eng);
+  EXPECT_GE(policy.retries(), 6u);
+  ExpectBitIdentical(clean, faulted, "engine");
+}
+
+// Mid-run io_uring degradation: injected submission failures force the
+// ring path to finish in-flight runs via the worker transfers and, after
+// the failure limit, disable the ring for good — with the cost model and
+// the data none the wiser.
+TEST(IndependentDiskFaultTolerance, RingSubmitFailuresDegradeBitIdentical) {
+  if (!IoRing::CompiledIn() || !IoRing::KernelSupported()) {
+    GTEST_SKIP() << "io_uring not available on this kernel/build";
+  }
+  WorkloadCost wp = RunWorkload("ft_wp", 8, true, false);
+  IoRing::ForceSubmitFailuresForTest(IoEngine::kRingFailureLimit);
+  WorkloadCost ur =
+      RunWorkload("ft_ur_fault", 8, true, false, IoBackend::kIoUring);
+  IoRing::ForceSubmitFailuresForTest(0);
+  EXPECT_EQ(wp.output, ur.output);
+  EXPECT_EQ(wp.parent, ur.parent);
+  ASSERT_EQ(wp.children.size(), ur.children.size());
+  for (size_t d = 0; d < wp.children.size(); ++d) {
+    EXPECT_EQ(wp.children[d], ur.children[d]) << "child " << d;
+  }
+}
+
+TEST(IndependentDiskFaultTolerance, QuarantinedDiskDivertsPlacement) {
+  IndependentDiskDevice dev(4, kBlock, kSeed);
+  IoEngine eng(2);
+  dev.set_io_engine(&eng);
+  // Find a victim head and write one block onto it.
+  uint64_t probe_id = dev.Allocate();
+  size_t sick = dev.disk_of(probe_id);
+  uint64_t tag = dev.EngineDiskTag(probe_id);
+  std::vector<char> block(kBlock, 42);
+  ASSERT_TRUE(dev.Write(probe_id, block.data()).ok());
+
+  for (int i = 0; i < 3; ++i) eng.ReportDiskResult(tag, false);
+  ASSERT_TRUE(eng.DiskQuarantined(tag));
+  // New blocks avoid the sick head entirely...
+  for (int i = 0; i < 32; ++i) {
+    uint64_t id = dev.Allocate();
+    EXPECT_NE(dev.disk_of(id), sick) << "allocation " << i;
+  }
+  // ...while its existing blocks stay readable (demand traffic is what
+  // retry serves and what can lift the quarantine).
+  std::vector<char> back(kBlock, 0);
+  ASSERT_TRUE(dev.Read(probe_id, back.data()).ok());
+  EXPECT_EQ(back[0], 42);
+
+  // Recovery evidence re-admits the head to the placement cycle.
+  for (int i = 0; i < 50 && eng.DiskQuarantined(tag); ++i) {
+    eng.ReportDiskResult(tag, true, 1000);
+  }
+  ASSERT_FALSE(eng.DiskQuarantined(tag));
+  bool used_again = false;
+  for (int i = 0; i < 16 && !used_again; ++i) {
+    used_again = dev.disk_of(dev.Allocate()) == sick;
+  }
+  EXPECT_TRUE(used_again);
+  dev.set_io_engine(nullptr);
+}
+
+TEST(IndependentDiskFaultTolerance, AllDisksQuarantinedStillPlaces) {
+  IndependentDiskDevice dev(2, kBlock, kSeed);
+  IoEngine eng(1);
+  dev.set_io_engine(&eng);
+  uint64_t a = dev.Allocate();
+  uint64_t b = dev.Allocate();
+  for (int i = 0; i < 3; ++i) {
+    eng.ReportDiskResult(dev.EngineDiskTag(a), false);
+    eng.ReportDiskResult(dev.EngineDiskTag(b), false);
+  }
+  ASSERT_EQ(eng.quarantined_disks(), 2u);
+  // With every head sick there is nowhere better: placement proceeds.
+  uint64_t c = dev.Allocate();
+  EXPECT_LT(dev.disk_of(c), 2u);
+  std::vector<char> block(kBlock, 7);
+  EXPECT_TRUE(dev.Write(c, block.data()).ok());
+  dev.set_io_engine(nullptr);
 }
 
 // ------------------------------------------ per-route governor history
