@@ -12,11 +12,18 @@
 // the device transfers; without one, K blocks still coalesce into single
 // vectored syscalls. IoStats stay bit-identical either way (accounting is
 // deferred to consumption time; see block_device.h).
+//
+// DEPRECATED (trailing parameters): the `prefetch_depth` arguments are
+// superseded by the ExecutionContext overloads, where the depth and the
+// memory budget ride the context's Options instead of every call
+// signature (serve/execution_context.h). The parameterized overloads
+// stay as thin forwards for existing callers.
 #pragma once
 
 #include <functional>
 
 #include "core/ext_vector.h"
+#include "serve/execution_context.h"
 #include "sort/external_sort.h"
 #include "util/status.h"
 
@@ -117,6 +124,35 @@ Status GroupByAggregate(const ExtVector<Row>& rows, ExtVector<Out>* out,
   }
   VEM_RETURN_IF_ERROR(r.status());
   return w.Finish();
+}
+
+/// Context-carried join: memory budget (the tenant's M slice) and
+/// prefetch depth come from the ExecutionContext's Options. `out` must
+/// live on the context's device.
+template <typename L, typename R, typename Out, typename Key>
+Status SortMergeJoin(ExecutionContext* ctx, const ExtVector<L>& left,
+                     const ExtVector<R>& right, ExtVector<Out>* out,
+                     const std::function<Key(const L&)>& key_l,
+                     const std::function<Key(const R&)>& key_r,
+                     const std::function<Out(const L&, const R&)>& combine) {
+  return SortMergeJoin<L, R, Out, Key>(left, right, out,
+                                       ctx->memory_budget(), key_l, key_r,
+                                       combine, ctx->prefetch_depth());
+}
+
+/// Context-carried aggregation: budget and depth from the
+/// ExecutionContext's Options. `out` must live on the context's device.
+template <typename Row, typename Key, typename Acc, typename Out>
+Status GroupByAggregate(ExecutionContext* ctx, const ExtVector<Row>& rows,
+                        ExtVector<Out>* out,
+                        const std::function<Key(const Row&)>& key_of,
+                        const std::function<Acc(const Key&)>& init,
+                        const std::function<void(Acc*, const Row&)>& fold,
+                        const std::function<Out(const Key&, const Acc&)>&
+                            finish) {
+  return GroupByAggregate<Row, Key, Acc, Out>(rows, out, ctx->memory_budget(),
+                                              key_of, init, fold, finish,
+                                              ctx->prefetch_depth());
 }
 
 }  // namespace vem

@@ -8,6 +8,7 @@
 
 #include "core/ext_vector.h"
 #include "io/memory_arbiter.h"
+#include "serve/execution_context.h"
 #include "sort/external_sort.h"
 #include "util/status.h"
 
@@ -39,6 +40,11 @@ class ExtGraph {
   /// (staging) and offset lookups (frames) share one M.
   explicit ExtGraph(ArbitratedMemory* mem)
       : ExtGraph(mem->device(), mem->pool()) {}
+
+  /// Serving-plane wiring: offsets paged through an ExecutionContext
+  /// (one tenant of a possibly shared M; serve/execution_context.h).
+  explicit ExtGraph(ExecutionContext* ctx)
+      : ExtGraph(ctx->device(), ctx->pool()) {}
 
   /// Build from an arc list. For an undirected graph pass both (u,v) and
   /// (v,u), or set `symmetrize` to add reverses automatically.

@@ -17,6 +17,7 @@
 #include "graph/graph.h"
 #include "io/memory_arbiter.h"
 #include "search/external_pq.h"
+#include "serve/execution_context.h"
 #include "sort/external_sort.h"
 #include "util/options.h"
 #include "util/status.h"
@@ -49,6 +50,11 @@ class WeightedGraph {
   /// frames and staging; see io/memory_arbiter.h).
   explicit WeightedGraph(ArbitratedMemory* mem)
       : WeightedGraph(mem->device(), mem->pool()) {}
+
+  /// Serving-plane wiring: adjacency paged through an ExecutionContext
+  /// (one tenant of a possibly shared M; serve/execution_context.h).
+  explicit WeightedGraph(ExecutionContext* ctx)
+      : WeightedGraph(ctx->device(), ctx->pool()) {}
 
   /// Build from arcs; set `symmetrize` for undirected graphs.
   Status Build(const ExtVector<WeightedEdge>& arcs, uint64_t n,
@@ -139,6 +145,11 @@ class SemiExternalSssp {
   /// and the PQ's run streams (staging) charge one shared M.
   SemiExternalSssp(ArbitratedMemory* mem, const Options& opts)
       : SemiExternalSssp(mem->device(), mem->pool(), opts.memory_budget) {}
+
+  /// Serving-plane wiring: distances and PQ run streams charge the
+  /// context tenant's slice of M (serve/execution_context.h).
+  explicit SemiExternalSssp(ExecutionContext* ctx)
+      : SemiExternalSssp(ctx->device(), ctx->pool(), ctx->memory_budget()) {}
 
   /// Shortest distances from `source`; out[v] = kInfDist if unreachable.
   /// `out` is a dense pooled vector of num_vertices entries.

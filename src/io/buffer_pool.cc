@@ -8,7 +8,7 @@
 namespace vem {
 
 BufferPool::BufferPool(BlockDevice* dev, size_t num_frames,
-                       MemoryArbiter* arbiter)
+                       MemoryArbiter* arbiter, TenantLease* tenant)
     : dev_(dev) {
   if (num_frames == 0) num_frames = 1;
   baseline_frames_ = num_frames;
@@ -16,7 +16,7 @@ BufferPool::BufferPool(BlockDevice* dev, size_t num_frames,
   // be chargeable on the ghost's schedule, not their own. Devices
   // without one get the classic fixed pool.
   if (arbiter != nullptr && dev_->SupportsUncounted()) {
-    lease_ = arbiter->LeasePool(num_frames);
+    lease_ = arbiter->LeasePool(num_frames, tenant);
     report_every_ = arbiter->window_accesses();
     ghost_frames_.resize(num_frames);
     // The physical pool starts at the granted lease (== baseline unless

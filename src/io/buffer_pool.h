@@ -34,6 +34,7 @@ namespace vem {
 
 class MemoryArbiter;
 class PoolLease;
+class TenantLease;
 
 /// Page cache over one BlockDevice: fixed-capacity by default,
 /// lease-backed and resizable under a MemoryArbiter.
@@ -47,8 +48,10 @@ class BufferPool {
   ///        frames from it and follows grow/shed targets at access-window
   ///        boundaries. Ignored (fixed pool) on devices without an
   ///        uncounted plane.
+  /// @param tenant optional account the lease charges against (null =
+  ///        the arbiter's default tenant); see RegisterTenant.
   BufferPool(BlockDevice* dev, size_t num_frames,
-             MemoryArbiter* arbiter = nullptr);
+             MemoryArbiter* arbiter = nullptr, TenantLease* tenant = nullptr);
 
   BufferPool(const BufferPool&) = delete;
   BufferPool& operator=(const BufferPool&) = delete;

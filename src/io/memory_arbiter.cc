@@ -58,9 +58,85 @@ size_t MemoryArbiter::GrantFromFree(size_t want) {
   return grant;
 }
 
-void MemoryArbiter::ReleaseLease(size_t* charged) {
+void MemoryArbiter::ReleaseLease(size_t* charged, TenantLease* tenant) {
   charged_blocks_ -= *charged;
+  tenant->charged_ -= *charged;
   *charged = 0;
+}
+
+TenantLease* MemoryArbiter::DefaultTenant() {
+  if (default_raw_ == nullptr) {
+    default_tenant_.reset(new TenantLease(this, "default", 1.0, 0));
+    default_raw_ = default_tenant_.get();
+    tenants_.push_back(default_raw_);
+  }
+  return default_raw_;
+}
+
+std::unique_ptr<TenantLease> MemoryArbiter::RegisterTenant(
+    const std::string& name, double priority, size_t min_floor_blocks) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (floor_reserved_ + min_floor_blocks > total_blocks_) return nullptr;
+  if (!(priority > 0.0)) priority = 1.0;
+  auto tenant = std::unique_ptr<TenantLease>(
+      new TenantLease(this, name, priority, min_floor_blocks));
+  floor_reserved_ += min_floor_blocks;
+  tenants_.push_back(tenant.get());
+  return tenant;
+}
+
+void MemoryArbiter::DropTenant(TenantLease* tenant) {
+  std::lock_guard<std::mutex> lock(mu_);
+  tenants_.erase(std::remove(tenants_.begin(), tenants_.end(), tenant),
+                 tenants_.end());
+  floor_reserved_ -= tenant->floor_blocks_;
+  if (tenant == default_raw_) {
+    default_raw_ = nullptr;  // arbiter teardown; no leases may survive it
+    return;
+  }
+  // Leases may outlive their tenant handle: their charges move to the
+  // default account so conservation and share math stay whole.
+  TenantLease* fallback = nullptr;
+  for (PoolLease* p : pools_) {
+    if (p->tenant_ != tenant) continue;
+    if (fallback == nullptr) fallback = DefaultTenant();
+    p->tenant_ = fallback;
+    fallback->charged_ += p->charged_;
+  }
+  for (StagingLease* s : stagings_) {
+    if (s->tenant_ != tenant) continue;
+    if (fallback == nullptr) fallback = DefaultTenant();
+    s->tenant_ = fallback;
+    fallback->charged_ += s->charged_;
+  }
+}
+
+double MemoryArbiter::FairShare(const TenantLease* tenant) const {
+  double sum = 0.0;
+  for (const TenantLease* t : tenants_) sum += t->priority_;
+  double share = sum > 0.0
+                     ? double(total_blocks_) * tenant->priority_ / sum
+                     : double(total_blocks_);
+  return std::max(share, double(tenant->floor_blocks_));
+}
+
+double MemoryArbiter::TenantOverage(const TenantLease* tenant) const {
+  return double(tenant->charged_) - FairShare(tenant);
+}
+
+size_t MemoryArbiter::TenantTargetBlocks(const TenantLease* tenant) const {
+  size_t sum = 0;
+  for (const PoolLease* p : pools_) {
+    if (p->tenant_ == tenant) {
+      sum += p->target_.load(std::memory_order_relaxed);
+    }
+  }
+  for (const StagingLease* s : stagings_) {
+    if (s->tenant_ == tenant) {
+      sum += s->target_.load(std::memory_order_relaxed);
+    }
+  }
+  return sum;
 }
 
 void MemoryArbiter::AttachEngine(IoEngine* engine) {
@@ -72,48 +148,79 @@ void MemoryArbiter::AttachGauge(const DepthGauge* gauge) {
   gauge_ = gauge;
 }
 
-std::unique_ptr<PoolLease> MemoryArbiter::LeasePool(size_t frames) {
+std::unique_ptr<PoolLease> MemoryArbiter::LeasePool(size_t frames,
+                                                    TenantLease* tenant) {
   std::lock_guard<std::mutex> lock(mu_);
+  if (tenant == nullptr) tenant = DefaultTenant();
   size_t grant = GrantFromFree(frames);
-  auto lease = std::unique_ptr<PoolLease>(new PoolLease(this, grant));
+  auto lease = std::unique_ptr<PoolLease>(new PoolLease(this, tenant, grant));
+  tenant->charged_ += grant;
   pools_.push_back(lease.get());
   return lease;
 }
 
-std::unique_ptr<StagingLease> MemoryArbiter::LeaseStaging(size_t blocks) {
+std::unique_ptr<StagingLease> MemoryArbiter::LeaseStaging(
+    size_t blocks, TenantLease* tenant) {
   std::lock_guard<std::mutex> lock(mu_);
+  if (tenant == nullptr) tenant = DefaultTenant();
   size_t grant = GrantFromFree(blocks);
-  auto lease = std::unique_ptr<StagingLease>(new StagingLease(this, grant));
+  auto lease =
+      std::unique_ptr<StagingLease>(new StagingLease(this, tenant, grant));
+  tenant->charged_ += grant;
   stagings_.push_back(lease.get());
   return lease;
 }
 
+namespace {
+/// Floor contract: how much `cut` the tenant can absorb before the sum
+/// of its lease targets would dip below its guaranteed floor.
+size_t ClampCutToFloor(size_t cut, size_t tenant_targets, size_t floor) {
+  size_t slack = tenant_targets > floor ? tenant_targets - floor : 0;
+  return std::min(cut, slack);
+}
+}  // namespace
+
 bool MemoryArbiter::TryRevokeStaging() {
-  // Victim: the lease with waste evidence — staged-unused history, or
-  // an idle budget (streams hold less than half the target: scans are
-  // not using what they own) — preferring the largest target.
+  // Victim: a lease with waste evidence — staged-unused history, or an
+  // idle budget (streams hold less than half the target: scans are not
+  // using what they own). Candidates are ordered by their tenant's
+  // proportional-share deficit: the tenant furthest OVER its fair share
+  // sheds first, so a late-arriving tenant still under its share is
+  // never the victim while an incumbent squats above its own. Ties
+  // (same tenant, or equal overage) prefer the largest target.
   StagingLease* victim = nullptr;
+  double victim_over = 0.0;
   for (StagingLease* s : stagings_) {
     size_t target = s->target_.load(std::memory_order_relaxed);
     if (target <= cfg_.min_staging_blocks) continue;
     bool wasteful = s->waste_ewma_ >= cfg_.staging_waste_reclaim;
     bool idle = s->last_staged_ * 2 <= target;
     if (!wasteful && !idle) continue;
-    if (victim == nullptr ||
-        target > victim->target_.load(std::memory_order_relaxed)) {
+    if (TenantTargetBlocks(s->tenant_) <= s->tenant_->floor_blocks_) {
+      continue;  // the floor guarantee has no slack left
+    }
+    double over = TenantOverage(s->tenant_);
+    if (victim == nullptr || over > victim_over ||
+        (over == victim_over &&
+         target > victim->target_.load(std::memory_order_relaxed))) {
       victim = s;
+      victim_over = over;
     }
   }
   if (victim == nullptr) return false;
   uint64_t now = now_ns();
   if (cfg_.min_revoke_gap_ns != 0 &&
-      now - last_staging_revoke_ns_ < cfg_.min_revoke_gap_ns) {
+      now - victim->tenant_->last_staging_revoke_ns_ <
+          cfg_.min_revoke_gap_ns) {
     return false;
   }
-  last_staging_revoke_ns_ = now;
+  victim->tenant_->last_staging_revoke_ns_ = now;
   size_t target = victim->target_.load(std::memory_order_relaxed);
-  size_t next = target - std::min(cfg_.step_blocks,
-                                  target - cfg_.min_staging_blocks);
+  size_t cut = std::min(cfg_.step_blocks, target - cfg_.min_staging_blocks);
+  cut = ClampCutToFloor(cut, TenantTargetBlocks(victim->tenant_),
+                        victim->tenant_->floor_blocks_);
+  if (cut == 0) return false;
+  size_t next = target - cut;
   victim->target_.store(next, std::memory_order_relaxed);
   // The charge follows the staging actually held: an idle lease frees
   // blocks immediately, a busy one keeps them charged until the governor
@@ -122,6 +229,7 @@ bool MemoryArbiter::TryRevokeStaging() {
       std::min(std::max(next, victim->last_staged_), victim->charged_);
   if (still < victim->charged_) {
     charged_blocks_ -= victim->charged_ - still;
+    victim->tenant_->charged_ -= victim->charged_ - still;
     victim->charged_ = still;
   }
   staging_sheds_++;
@@ -129,27 +237,41 @@ bool MemoryArbiter::TryRevokeStaging() {
 }
 
 bool MemoryArbiter::TryRevokePool() {
-  // Victim: the coldest lease above its floor, preferring more cold
-  // evidence (a short-lived scratch pool does not shadow the main one).
+  // Victim: a cold lease above its floor, ordered by the tenant's
+  // proportional-share deficit (see TryRevokeStaging); ties prefer
+  // more cold evidence (a short-lived scratch pool does not shadow the
+  // main one).
   PoolLease* victim = nullptr;
+  double victim_over = 0.0;
   for (PoolLease* p : pools_) {
     size_t target = p->target_.load(std::memory_order_relaxed);
     size_t floor = std::max(cfg_.min_pool_frames, p->last_pinned_);
     if (target <= floor) continue;
     if (p->cold_ewma_ < cfg_.pool_cold_fraction) continue;
-    if (victim == nullptr || p->cold_ewma_ > victim->cold_ewma_) victim = p;
+    if (TenantTargetBlocks(p->tenant_) <= p->tenant_->floor_blocks_) {
+      continue;  // the floor guarantee has no slack left
+    }
+    double over = TenantOverage(p->tenant_);
+    if (victim == nullptr || over > victim_over ||
+        (over == victim_over && p->cold_ewma_ > victim->cold_ewma_)) {
+      victim = p;
+      victim_over = over;
+    }
   }
   if (victim == nullptr) return false;
   uint64_t now = now_ns();
   if (cfg_.min_revoke_gap_ns != 0 &&
-      now - last_pool_revoke_ns_ < cfg_.min_revoke_gap_ns) {
+      now - victim->tenant_->last_pool_revoke_ns_ < cfg_.min_revoke_gap_ns) {
     return false;
   }
-  last_pool_revoke_ns_ = now;
+  victim->tenant_->last_pool_revoke_ns_ = now;
   size_t target = victim->target_.load(std::memory_order_relaxed);
   size_t floor = std::max(cfg_.min_pool_frames, victim->last_pinned_);
-  size_t next = target - std::min(cfg_.step_blocks, target - floor);
-  victim->target_.store(next, std::memory_order_relaxed);
+  size_t cut = std::min(cfg_.step_blocks, target - floor);
+  cut = ClampCutToFloor(cut, TenantTargetBlocks(victim->tenant_),
+                        victim->tenant_->floor_blocks_);
+  if (cut == 0) return false;
+  victim->target_.store(target - cut, std::memory_order_relaxed);
   // Keep the frames charged until the pool confirms the shed; frames are
   // physical until then.
   pool_sheds_++;
@@ -174,6 +296,7 @@ size_t MemoryArbiter::DoPoolReport(PoolLease* lease, size_t hits,
   size_t owed = std::min(std::max(target, actual), lease->charged_);
   if (owed < lease->charged_) {
     charged_blocks_ -= lease->charged_ - owed;
+    lease->tenant_->charged_ -= lease->charged_ - owed;
     lease->charged_ = owed;
   }
   if (lease->miss_ewma_ >= cfg_.pool_grow_miss_rate) {
@@ -187,6 +310,7 @@ size_t MemoryArbiter::DoPoolReport(PoolLease* lease, size_t hits,
     size_t need =
         new_target > lease->charged_ ? new_target - lease->charged_ : 0;
     size_t charge = GrantFromFree(need);
+    lease->tenant_->charged_ += charge;
     size_t granted =
         std::min(cfg_.step_blocks, lease->charged_ + charge - target);
     if (granted > 0) {
@@ -213,6 +337,7 @@ void MemoryArbiter::DoPoolConfirm(PoolLease* lease, size_t actual) {
   size_t owed = std::min(std::max(target, actual), lease->charged_);
   if (owed < lease->charged_) {
     charged_blocks_ -= lease->charged_ - owed;
+    lease->tenant_->charged_ -= lease->charged_ - owed;
     lease->charged_ = owed;
   }
 }
@@ -252,6 +377,7 @@ size_t MemoryArbiter::DoStagingGrow(StagingLease* lease, size_t want) {
   size_t need =
       new_target > lease->charged_ ? new_target - lease->charged_ : 0;
   size_t charge = GrantFromFree(need);
+  lease->tenant_->charged_ += charge;
   size_t grant = std::min(want, lease->charged_ + charge - target);
   if (grant > 0) {
     lease->target_.store(target + grant, std::memory_order_relaxed);
@@ -278,6 +404,7 @@ void MemoryArbiter::DoStagingUsage(StagingLease* lease, size_t staged,
   size_t owed = std::min(std::max(target, staged), lease->charged_);
   if (owed < lease->charged_) {
     charged_blocks_ -= lease->charged_ - owed;
+    lease->tenant_->charged_ -= lease->charged_ - owed;
     lease->charged_ = owed;
   }
   if (pool_pressure_) {
@@ -288,9 +415,21 @@ void MemoryArbiter::DoStagingUsage(StagingLease* lease, size_t staged,
 
 // ---------------------------------------------------------------- leases
 
+TenantLease::~TenantLease() { arb_->DropTenant(this); }
+
+size_t TenantLease::charged_blocks() const {
+  std::lock_guard<std::mutex> lock(arb_->mu_);
+  return charged_;
+}
+
+size_t TenantLease::fair_share_blocks() const {
+  std::lock_guard<std::mutex> lock(arb_->mu_);
+  return static_cast<size_t>(arb_->FairShare(this));
+}
+
 PoolLease::~PoolLease() {
   std::lock_guard<std::mutex> lock(arb_->mu_);
-  arb_->ReleaseLease(&charged_);
+  arb_->ReleaseLease(&charged_, tenant_);
   auto& v = arb_->pools_;
   v.erase(std::remove(v.begin(), v.end(), this), v.end());
 }
@@ -309,7 +448,7 @@ void PoolLease::ConfirmFrames(size_t actual_frames) {
 
 StagingLease::~StagingLease() {
   std::lock_guard<std::mutex> lock(arb_->mu_);
-  arb_->ReleaseLease(&charged_);
+  arb_->ReleaseLease(&charged_, tenant_);
   auto& v = arb_->stagings_;
   v.erase(std::remove(v.begin(), v.end(), this), v.end());
 }
@@ -364,6 +503,14 @@ size_t MemoryArbiter::saturation_denied_grows() const {
   std::lock_guard<std::mutex> lock(mu_);
   return saturation_denied_grows_;
 }
+size_t MemoryArbiter::tenant_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return tenants_.size();
+}
+size_t MemoryArbiter::floor_reserved_blocks() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return floor_reserved_;
+}
 
 // ----------------------------------------------------- ArbitratedMemory
 
@@ -387,6 +534,7 @@ ArbitratedMemory::ArbitratedMemory(BlockDevice* dev, const Options& opts,
                                    MemoryArbiter::Clock clock)
     : dev_(dev),
       arbiter_(opts, clock),
+      tenant_(arbiter_.RegisterTenant("main")),
       governor_(GovernorConfigForArbiter(opts, arbiter_.config().pool_share),
                 clock),
       pool_(dev,
@@ -395,8 +543,8 @@ ArbitratedMemory::ArbitratedMemory(BlockDevice* dev, const Options& opts,
                                     arbiter_.config().pool_share) /
                     arbiter_.config().block_size,
                 arbiter_.config().min_pool_frames),
-            &arbiter_) {
-  governor_.AttachArbiter(&arbiter_);
+            &arbiter_, tenant_.get()) {
+  governor_.AttachArbiter(&arbiter_, tenant_.get());
   dev_->set_prefetch_governor(&governor_);
 }
 

@@ -34,6 +34,23 @@
 // buffer_pool.h): an arbitrated pool charges the PDM cost its *baseline*
 // capacity would have paid while transfers ride the uncounted plane.
 //
+// Multi-tenant mode: the arbiter is also the resource plane for a
+// SERVING system — one machine M shared fairly across N concurrent
+// clients. RegisterTenant(name, priority, min_floor) returns a
+// TenantLease; pool and staging leases opened against a tenant charge
+// that tenant's account. Reclaim is proportional-share: when one side
+// must shed, victims are ordered by how far their tenant sits ABOVE its
+// fair share (total * priority / sum-of-priorities), so an index pool
+// under its share is never robbed to feed a scratch tile pool over
+// its own, and a late-arriving tenant (charged below share) wins memory
+// from incumbents instead of starving. A tenant's floor is a guarantee:
+// revocation never cuts the sum of its lease targets below min_floor,
+// and RegisterTenant refuses (returns null) when the sum of floors
+// would oversubscribe M — the refusal AdmissionController (see
+// serve/admission.h) turns into queueing or Status::Busy sheds.
+// Revocations stay clock-rate-limited, now PER TENANT: one thrashing
+// tenant cannot spend the whole machine's revocation budget.
+//
 // Threading: every lease method takes the arbiter mutex and never a
 // client lock; clients call in under their own locks (lock order: client
 // before arbiter, always). The injectable clock pins the revocation
@@ -46,6 +63,7 @@
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <vector>
 
 #include "io/buffer_pool.h"
@@ -58,6 +76,52 @@ struct Options;
 class DepthGauge;
 class IoEngine;
 class MemoryArbiter;
+class TenantLease;
+
+/// One tenant's registration with the arbiter: an identity (for stats
+/// and diagnostics), a priority weight (its slice of M under
+/// proportional-share reclaim), and a guaranteed floor in blocks that
+/// revocation never crosses. Pool and staging leases opened with a
+/// tenant charge that tenant's account; the default constructor-less
+/// tenant (used by tenantless leases and the ArbitratedMemory shim)
+/// has priority 1 and no floor — whole-M share when it is alone.
+/// Destroying the tenant releases its floor reservation; any leases
+/// still open against it are re-pointed at the default tenant, so the
+/// tenant handle may be dropped before (or after) its leases.
+class TenantLease {
+ public:
+  ~TenantLease();
+  TenantLease(const TenantLease&) = delete;
+  TenantLease& operator=(const TenantLease&) = delete;
+
+  const std::string& name() const { return name_; }
+  double priority() const { return priority_; }
+  size_t floor_blocks() const { return floor_blocks_; }
+  /// Blocks currently charged to this tenant across all its leases.
+  size_t charged_blocks() const;
+  /// This tenant's proportional share of M right now:
+  /// total * priority / sum(priorities of registered tenants), never
+  /// below the tenant's floor.
+  size_t fair_share_blocks() const;
+
+ private:
+  friend class MemoryArbiter;
+  friend class PoolLease;
+  friend class StagingLease;
+  TenantLease(MemoryArbiter* arb, std::string name, double priority,
+              size_t floor_blocks)
+      : arb_(arb), name_(std::move(name)), priority_(priority),
+        floor_blocks_(floor_blocks) {}
+
+  MemoryArbiter* arb_;
+  std::string name_;
+  double priority_;
+  size_t floor_blocks_;
+  // All under the arbiter mutex.
+  size_t charged_ = 0;  // sum of member lease charges
+  uint64_t last_pool_revoke_ns_ = 0;
+  uint64_t last_staging_revoke_ns_ = 0;
+};
 
 /// One BufferPool's claim on M, in frames (= blocks). The pool reports
 /// access windows and follows the returned target; the arbiter keeps
@@ -93,10 +157,11 @@ class PoolLease {
 
  private:
   friend class MemoryArbiter;
-  explicit PoolLease(MemoryArbiter* arb, size_t frames)
-      : arb_(arb), target_(frames), charged_(frames) {}
+  PoolLease(MemoryArbiter* arb, TenantLease* tenant, size_t frames)
+      : arb_(arb), tenant_(tenant), target_(frames), charged_(frames) {}
 
   MemoryArbiter* arb_;
+  TenantLease* tenant_;  // account the charge lands on (never null)
   std::atomic<size_t> target_;
   size_t charged_;  // frames counted against M (>= max(target, actual))
   // Evidence EWMAs, folded per reported window (under the arbiter mutex).
@@ -132,10 +197,11 @@ class StagingLease {
 
  private:
   friend class MemoryArbiter;
-  explicit StagingLease(MemoryArbiter* arb, size_t blocks)
-      : arb_(arb), target_(blocks), charged_(blocks) {}
+  StagingLease(MemoryArbiter* arb, TenantLease* tenant, size_t blocks)
+      : arb_(arb), tenant_(tenant), target_(blocks), charged_(blocks) {}
 
   MemoryArbiter* arb_;
+  TenantLease* tenant_;  // account the charge lands on (never null)
   std::atomic<size_t> target_;
   size_t charged_;  // blocks counted against M (>= max(target, staged))
   size_t last_staged_ = 0;
@@ -204,12 +270,27 @@ class MemoryArbiter {
   /// this arbiter.
   void AttachGauge(const DepthGauge* gauge);
 
-  /// Lease `frames` frames (clamped to free headroom) to a BufferPool.
-  /// The arbiter must outlive the lease. Never returns null.
-  std::unique_ptr<PoolLease> LeasePool(size_t frames);
+  /// Register a tenant: `priority` weights its proportional share of M
+  /// (clamped to > 0), `min_floor_blocks` is a guaranteed minimum that
+  /// reclaim never crosses. Returns null when admitting the floor would
+  /// oversubscribe M (sum of registered floors > M) — the admission
+  /// refusal serve/admission.h turns into queueing or a Busy shed. The
+  /// arbiter must outlive the tenant; the tenant may be dropped before
+  /// or after the leases opened against it.
+  std::unique_ptr<TenantLease> RegisterTenant(const std::string& name,
+                                              double priority = 1.0,
+                                              size_t min_floor_blocks = 0);
 
-  /// Lease `blocks` of staging (clamped to free headroom) to a governor.
-  std::unique_ptr<StagingLease> LeaseStaging(size_t blocks);
+  /// Lease `frames` frames (clamped to free headroom) to a BufferPool,
+  /// charged to `tenant` (null = the default tenant). The arbiter must
+  /// outlive the lease. Never returns null.
+  std::unique_ptr<PoolLease> LeasePool(size_t frames,
+                                       TenantLease* tenant = nullptr);
+
+  /// Lease `blocks` of staging (clamped to free headroom) to a governor,
+  /// charged to `tenant` (null = the default tenant).
+  std::unique_ptr<StagingLease> LeaseStaging(size_t blocks,
+                                             TenantLease* tenant = nullptr);
 
   // ------------------------------------------------------ introspection
   const Config& config() const { return cfg_; }
@@ -226,26 +307,47 @@ class MemoryArbiter {
   size_t quarantine_denied_grows() const;  ///< grows denied: a disk is
                                            ///< quarantined by the engine's
                                            ///< health monitor
+  size_t tenant_count() const;             ///< registered tenants (incl. the
+                                           ///< default once it exists)
+  size_t floor_reserved_blocks() const;    ///< sum of registered floors
 
   uint64_t now_ns() const { return clock_(); }
 
  private:
   friend class PoolLease;
   friend class StagingLease;
+  friend class TenantLease;
 
   // All under mu_.
   size_t GrantFromFree(size_t want);
-  void ReleaseLease(size_t* charged);
+  void ReleaseLease(size_t* charged, TenantLease* tenant);
+  /// The lazily-created account tenantless leases charge against.
+  TenantLease* DefaultTenant();
+  /// Unregister: release the floor, re-point surviving leases at the
+  /// default tenant (transferring their charges).
+  void DropTenant(TenantLease* tenant);
+  /// `tenant`'s proportional share of M in blocks, never below its floor.
+  double FairShare(const TenantLease* tenant) const;
+  /// Blocks charged above (positive) or below (negative) the tenant's
+  /// fair share — the proportional-share deficit that orders victims.
+  double TenantOverage(const TenantLease* tenant) const;
+  /// Sum of `tenant`'s lease TARGETS (the guaranteed-floor ledger; a
+  /// revoked-but-unshed lease keeps its charge, but the floor contract
+  /// is about what the tenant may keep, i.e. targets).
+  size_t TenantTargetBlocks(const TenantLease* tenant) const;
   size_t DoPoolReport(PoolLease* lease, size_t hits, size_t misses,
                       size_t cold, size_t pinned, size_t actual);
   void DoPoolConfirm(PoolLease* lease, size_t actual);
   size_t DoStagingGrow(StagingLease* lease, size_t want);
   void DoStagingUsage(StagingLease* lease, size_t staged, double waste,
                       double stall);
-  /// Revoke up to step_blocks from the staging lease most recently seen
-  /// wasting (idle or staged-unused); true if a target was lowered.
+  /// Revoke up to step_blocks from a staging lease showing waste (idle
+  /// or staged-unused), ordered by proportional-share deficit: the
+  /// most-over-share tenant sheds first, floors and the per-tenant
+  /// revocation rate limit respected. True if a target was lowered.
   bool TryRevokeStaging();
-  /// Revoke up to step_blocks of cold pool frames; true if lowered.
+  /// Revoke up to step_blocks of cold pool frames, same ordering; true
+  /// if lowered.
   bool TryRevokePool();
 
   Config cfg_;
@@ -261,10 +363,13 @@ class MemoryArbiter {
   // go without disturbing the long-lived ones' revocability.
   std::vector<PoolLease*> pools_;
   std::vector<StagingLease*> stagings_;
+  // Registered tenants (raw; handles are owned by callers, the default
+  // one by default_tenant_ below). Floors sum to floor_reserved_.
+  std::vector<TenantLease*> tenants_;
+  TenantLease* default_raw_ = nullptr;  // == default_tenant_.get()
+  size_t floor_reserved_ = 0;
   bool pool_pressure_ = false;     // pool grow denied by headroom
   bool staging_pressure_ = false;  // staging grow denied by headroom
-  uint64_t last_pool_revoke_ns_ = 0;
-  uint64_t last_staging_revoke_ns_ = 0;
   size_t pool_grows_ = 0;
   size_t pool_sheds_ = 0;
   size_t staging_grows_ = 0;
@@ -272,6 +377,8 @@ class MemoryArbiter {
   size_t denied_grows_ = 0;
   size_t saturation_denied_grows_ = 0;
   size_t quarantine_denied_grows_ = 0;
+  // Declared after mu_ so its destructor (which takes mu_) runs first.
+  std::unique_ptr<TenantLease> default_tenant_;
 };
 
 /// Convenience bundle: one machine memory built from Options — arbiter,
@@ -279,6 +386,16 @@ class MemoryArbiter {
 /// revocable lease, attached to `dev`. Detaches the governor from the
 /// device on destruction. The IoEngine (if any) is still attached by the
 /// caller, as elsewhere.
+///
+/// MIGRATION: ArbitratedMemory is now a SINGLE-TENANT shim over the
+/// multi-tenant plane — it owns a private arbiter and registers one
+/// whole-M tenant ("main", priority 1, no floor) that its pool and
+/// staging leases charge, so behavior and IoStats are unchanged from
+/// the PR-4 bundle. New code, and anything that wants to share one M
+/// across several clients, should build a serve/execution_context.h
+/// ExecutionContext instead: same bundle plus engine wiring, built
+/// either standalone (this shim's shape) or as one tenant of a shared
+/// MemoryArbiter behind an AdmissionController.
 class ArbitratedMemory {
  public:
   ArbitratedMemory(BlockDevice* dev, const Options& opts,
@@ -295,6 +412,7 @@ class ArbitratedMemory {
   }
 
   MemoryArbiter* arbiter() { return &arbiter_; }
+  TenantLease* tenant() { return tenant_.get(); }
   BufferPool* pool() { return &pool_; }
   PrefetchGovernor* governor() { return &governor_; }
   BlockDevice* device() const { return dev_; }
@@ -302,6 +420,7 @@ class ArbitratedMemory {
  private:
   BlockDevice* dev_;
   MemoryArbiter arbiter_;
+  std::unique_ptr<TenantLease> tenant_;  // the shim's whole-M tenant
   PrefetchGovernor governor_;
   BufferPool pool_;
 };

@@ -32,9 +32,10 @@ PrefetchGovernor::PrefetchGovernor(const Options& opts, Clock clock)
 
 PrefetchGovernor::~PrefetchGovernor() = default;
 
-void PrefetchGovernor::AttachArbiter(MemoryArbiter* arb) {
+void PrefetchGovernor::AttachArbiter(MemoryArbiter* arb,
+                                     TenantLease* tenant) {
   std::lock_guard<std::mutex> lock(mu_);
-  staging_lease_ = arb->LeaseStaging(cfg_.budget_blocks);
+  staging_lease_ = arb->LeaseStaging(cfg_.budget_blocks, tenant);
   cfg_.budget_blocks = staging_lease_->target_blocks();
 }
 

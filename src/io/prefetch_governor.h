@@ -53,6 +53,7 @@ class DepthGauge;
 class IoEngine;
 class MemoryArbiter;
 class StagingLease;
+class TenantLease;
 
 /// Global staging-memory arbiter for prefetching streams on one device
 /// (or one family of devices sharing a block size).
@@ -123,8 +124,9 @@ class PrefetchGovernor {
   /// budget when stall evidence wants growth the current budget cannot
   /// fit, and pushes its staged/waste/stall shape so idle or wasteful
   /// staging can be reclaimed for the cache side. The arbiter must
-  /// outlive this governor.
-  void AttachArbiter(MemoryArbiter* arb);
+  /// outlive this governor. `tenant` names the account the staging
+  /// lease charges against (null = the arbiter's default tenant).
+  void AttachArbiter(MemoryArbiter* arb, TenantLease* tenant = nullptr);
 
   /// Depth-aware grant shaping: with an engine attached, arms and depth
   /// grows are scaled by the submission headroom of the lease's own disk

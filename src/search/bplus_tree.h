@@ -19,6 +19,7 @@
 #include "core/ext_vector.h"
 #include "io/buffer_pool.h"
 #include "io/memory_arbiter.h"
+#include "serve/execution_context.h"
 #include "util/status.h"
 
 namespace vem {
@@ -42,6 +43,12 @@ class BPlusTree {
   /// unchanged per-operation I/O charges (io/memory_arbiter.h).
   explicit BPlusTree(ArbitratedMemory* mem, Cmp cmp = Cmp())
       : BPlusTree(mem->pool(), cmp) {}
+
+  /// Serving-plane wiring: cache nodes in an ExecutionContext's pool —
+  /// one tenant's slice of a (possibly shared) machine M
+  /// (serve/execution_context.h).
+  explicit BPlusTree(ExecutionContext* ctx, Cmp cmp = Cmp())
+      : BPlusTree(ctx->pool(), cmp) {}
 
   /// Create the (initially empty leaf) root. Call exactly once.
   Status Init() {

@@ -18,6 +18,7 @@
 
 #include "io/buffer_pool.h"
 #include "io/memory_arbiter.h"
+#include "serve/execution_context.h"
 #include "util/status.h"
 
 namespace vem {
@@ -38,6 +39,10 @@ class ExtHashTable {
   /// the shared M; see io/memory_arbiter.h).
   explicit ExtHashTable(ArbitratedMemory* mem)
       : ExtHashTable(mem->pool()) {}
+
+  /// Serving-plane wiring: cache buckets in an ExecutionContext's pool
+  /// (one tenant of a possibly shared M; serve/execution_context.h).
+  explicit ExtHashTable(ExecutionContext* ctx) : ExtHashTable(ctx->pool()) {}
 
   /// Create the initial single-bucket table. Call exactly once.
   Status Init() {

@@ -15,6 +15,7 @@
 
 #include "core/ext_vector.h"
 #include "io/block_device.h"
+#include "serve/execution_context.h"
 #include "sort/forecast_merge.h"
 #include "sort/loser_tree.h"
 #include "util/status.h"
@@ -39,6 +40,15 @@ class ExternalSorter {
   explicit ExternalSorter(BlockDevice* dev, size_t memory_budget_bytes,
                           Cmp cmp = Cmp())
       : dev_(dev), memory_budget_(memory_budget_bytes), cmp_(cmp) {}
+
+  /// Serving-plane wiring: device, memory budget (the tenant's slice of
+  /// M) and prefetch depth all come from the ExecutionContext — the
+  /// Options-carried knobs replace per-call parameters
+  /// (serve/execution_context.h).
+  explicit ExternalSorter(ExecutionContext* ctx, Cmp cmp = Cmp())
+      : ExternalSorter(ctx->device(), ctx->memory_budget(), cmp) {
+    set_prefetch_depth(ctx->prefetch_depth());
+  }
 
   /// k: how many runs one merge pass combines. k input buffers plus one
   /// output buffer must fit in M.
@@ -293,10 +303,12 @@ class ExternalSorter {
   size_t prefetch_depth_ = 0;
 };
 
-/// Convenience wrapper: sort with default comparator. `prefetch_depth`
-/// arms K-block read-ahead/write-behind on every run stream (0 defers to
-/// each vector's own depth) — the scan-bound algorithm layers thread
-/// their own knob through here so their internal sorts overlap too.
+/// Convenience wrapper: sort with default comparator.
+///
+/// DEPRECATED (trailing parameter): the `prefetch_depth` argument is
+/// superseded by the ExecutionContext overload below, where depth rides
+/// Options instead of every call signature. This overload stays as a
+/// thin forward for existing callers; new code should pass a context.
 template <typename T, typename Cmp = std::less<T>>
 Status ExternalSort(const ExtVector<T>& input, ExtVector<T>* output,
                     size_t memory_budget_bytes, Cmp cmp = Cmp(),
@@ -304,6 +316,16 @@ Status ExternalSort(const ExtVector<T>& input, ExtVector<T>* output,
   ExternalSorter<T, Cmp> sorter(output->device(), memory_budget_bytes, cmp);
   sorter.set_prefetch_depth(prefetch_depth);
   return sorter.Sort(input, output);
+}
+
+/// Context-carried wrapper: budget (the tenant's M slice) and prefetch
+/// depth come from the ExecutionContext's Options; the output vector
+/// must live on the context's device.
+template <typename T, typename Cmp = std::less<T>>
+Status ExternalSort(ExecutionContext* ctx, const ExtVector<T>& input,
+                    ExtVector<T>* output, Cmp cmp = Cmp()) {
+  return ExternalSort<T, Cmp>(input, output, ctx->memory_budget(), cmp,
+                              ctx->prefetch_depth());
 }
 
 }  // namespace vem

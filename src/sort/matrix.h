@@ -20,6 +20,7 @@
 #include "io/block_device.h"
 #include "io/buffer_pool.h"
 #include "io/memory_arbiter.h"
+#include "serve/execution_context.h"
 #include "util/options.h"
 #include "util/status.h"
 
@@ -36,6 +37,11 @@ class ExtMatrix {
   /// pool on the shared M; see io/memory_arbiter.h).
   ExtMatrix(ArbitratedMemory* mem, size_t rows, size_t cols)
       : ExtMatrix(mem->device(), rows, cols, mem->pool()) {}
+
+  /// Serving-plane wiring: tiles paged through an ExecutionContext (one
+  /// tenant of a possibly shared M; serve/execution_context.h).
+  ExtMatrix(ExecutionContext* ctx, size_t rows, size_t cols)
+      : ExtMatrix(ctx->device(), rows, cols, ctx->pool()) {}
 
   size_t rows() const { return rows_; }
   size_t cols() const { return cols_; }

@@ -8,12 +8,15 @@
 
 #include <atomic>
 #include <memory>
+#include <string>
+#include <thread>
 #include <vector>
 
 #include "core/ext_vector.h"
 #include "io/memory_arbiter.h"
 #include "io/memory_block_device.h"
 #include "search/bplus_tree.h"
+#include "serve/execution_context.h"
 #include "util/options.h"
 #include "util/random.h"
 
@@ -230,6 +233,101 @@ TEST(MemoryArbiter, BudgetConservationHoldsUnderChurn) {
   }
 }
 
+// ------------------------------------------------------- multi-tenant plane
+
+TEST(MemoryArbiterTenants, RegistrationRefusesOversubscribedFloors) {
+  FakeClock clk;
+  MemoryArbiter arb(TestConfig(), clk.fn());
+  auto a = arb.RegisterTenant("a", 1.0, 40);
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(arb.floor_reserved_blocks(), 40u);
+  // 40 + 40 > 64: the guarantee cannot be honored, so it is refused.
+  auto b = arb.RegisterTenant("b", 1.0, 40);
+  EXPECT_EQ(b, nullptr);
+  EXPECT_EQ(arb.floor_reserved_blocks(), 40u);
+  // Dropping the handle releases the reservation.
+  a.reset();
+  EXPECT_EQ(arb.floor_reserved_blocks(), 0u);
+  auto c = arb.RegisterTenant("c", 1.0, 40);
+  EXPECT_NE(c, nullptr);
+}
+
+/// The victim-ordering fix: reclaim takes from the tenant furthest OVER
+/// its proportional share, not from whoever happens to sit first in the
+/// lease list — a late-arriving tenant below its share keeps its memory
+/// while the over-share incumbent is squeezed.
+TEST(MemoryArbiterTenants, ReclaimFollowsProportionalShareDeficit) {
+  FakeClock clk;
+  MemoryArbiter arb(TestConfig(), clk.fn());
+  auto ta = arb.RegisterTenant("incumbent");  // fair share: 32 each
+  auto tb = arb.RegisterTenant("latecomer");
+  auto staging_a = arb.LeaseStaging(40, ta.get());  // 8 over share
+  auto staging_b = arb.LeaseStaging(16, tb.get());  // 16 under share
+  auto pool_b = arb.LeasePool(8, tb.get());         // M fully charged
+  ASSERT_EQ(arb.charged_blocks(), 64u);
+  // BOTH stagings confess equal waste; only the deficit ordering can
+  // tell them apart.
+  staging_a->ReportUsage(40, /*waste=*/0.8, /*stall=*/0.0);
+  staging_b->ReportUsage(16, /*waste=*/0.8, /*stall=*/0.0);
+  // The latecomer's pool is starved: denied grow, revoke one step — from
+  // the over-share incumbent, never from the under-share latecomer.
+  pool_b->ReportWindow(0, 8, 0, 0, 8);
+  EXPECT_EQ(arb.staging_sheds(), 1u);
+  EXPECT_EQ(staging_a->target_blocks(), 32u);
+  EXPECT_EQ(staging_b->target_blocks(), 16u);
+}
+
+TEST(MemoryArbiterTenants, FloorIsNeverCrossedByReclaim) {
+  FakeClock clk;
+  MemoryArbiter arb(TestConfig(), clk.fn());
+  auto ta = arb.RegisterTenant("a");
+  auto tb = arb.RegisterTenant("b", 1.0, /*min_floor_blocks=*/16);
+  auto staging_b = arb.LeaseStaging(16, tb.get());  // exactly at its floor
+  auto staging_a = arb.LeaseStaging(8, ta.get());
+  auto pool_a = arb.LeasePool(40, ta.get());  // M fully charged
+  // b is wasteful AND over nothing — but it sits at its guaranteed
+  // floor, so reclaim must take from a's own staging instead.
+  staging_b->ReportUsage(16, 0.9, 0.0);
+  staging_a->ReportUsage(8, 0.9, 0.0);
+  pool_a->ReportWindow(0, 8, 0, 0, 40);
+  EXPECT_EQ(staging_b->target_blocks(), 16u);  // floor held
+  EXPECT_LT(staging_a->target_blocks(), 8u);   // the floorless side paid
+}
+
+/// Revocation rate limiting is per tenant: one thrashing tenant spending
+/// its budget does not freeze reclaim against a different tenant.
+TEST(MemoryArbiterTenants, RevocationRateLimitIsPerTenant) {
+  FakeClock clk;
+  auto cfg = TestConfig();
+  cfg.min_revoke_gap_ns = 1000;
+  MemoryArbiter arb(cfg, clk.fn());
+  clk.now_ns = 10000;
+  auto ta = arb.RegisterTenant("a");
+  auto tb = arb.RegisterTenant("b");
+  auto staging_a = arb.LeaseStaging(28, ta.get());
+  auto staging_b = arb.LeaseStaging(28, tb.get());
+  auto pool = arb.LeasePool(8);  // default tenant; M fully charged
+  staging_a->ReportUsage(28, 0.9, 0.0);
+  staging_b->ReportUsage(28, 0.9, 0.0);
+  // First denied grow revokes from one tenant; the second, at the SAME
+  // instant, revokes from the OTHER — its own limiter is untouched.
+  pool->ReportWindow(0, 8, 0, 0, 8);
+  EXPECT_EQ(arb.staging_sheds(), 1u);
+  pool->ReportWindow(0, 8, 0, 0, 8);
+  EXPECT_EQ(arb.staging_sheds(), 2u);
+  size_t a_cut = 28u - staging_a->target_blocks();
+  size_t b_cut = 28u - staging_b->target_blocks();
+  EXPECT_EQ(a_cut, 8u);
+  EXPECT_EQ(b_cut, 8u);
+  // Both limiters now armed: a third revocation at this instant is
+  // suppressed until the gap passes.
+  pool->ReportWindow(0, 8, 0, 0, 8);
+  EXPECT_EQ(arb.staging_sheds(), 2u);
+  clk.now_ns += 2000;
+  pool->ReportWindow(0, 8, 0, 0, 8);
+  EXPECT_EQ(arb.staging_sheds(), 3u);
+}
+
 // ------------------------------------------- governor lease renegotiation
 
 TEST(MemoryArbiter, GovernorRenegotiatesItsStagingLease) {
@@ -353,6 +451,75 @@ TEST(MemoryArbiterIdentity, BPlusTreeMatchesFixedPoolStats) {
   IoStats fixed = run(false);
   IoStats arbitrated = run(true);
   EXPECT_EQ(fixed, arbitrated);
+}
+
+/// The serving-plane contract (run under TSan in CI): two tenants
+/// hammering ONE shared arbiter concurrently charge exactly the logical
+/// IoStats each charges when it runs alone on its own slice. One thread
+/// per tenant serializes each tenant's own op sequence, so its ghost
+/// charging is deterministic no matter who else shares the machine;
+/// arbitration may move physical frames between tenants mid-run, but
+/// never a single logical charge.
+TEST(MemoryArbiterIdentity, MultiTenantStatsMatchSingleTenantRuns) {
+  Options opts = ArbiterOptions();  // each tenant's 64-block slice
+  const size_t kKeys = 6000;
+  const size_t kScanItems = 16 * (4096 / sizeof(uint64_t));
+  auto run_tenant = [&](ExecutionContext* ctx, uint64_t seed) {
+    BPlusTree<uint64_t, uint64_t> tree(ctx);
+    EXPECT_TRUE(tree.Init().ok());
+    Rng rng(seed);
+    for (size_t i = 0; i < kKeys; ++i) {
+      EXPECT_TRUE(tree.Insert(rng.Next(), i).ok());
+    }
+    Rng probe(seed + 1);
+    uint64_t v;
+    for (size_t i = 0; i < 2000; ++i) {
+      (void)tree.Get(probe.Next(), &v);
+    }
+    EXPECT_TRUE(ctx->pool()->FlushAll().ok());
+    // A governed scan through the same context's staging side.
+    ExtVector<uint64_t> vec(ctx->device());
+    vec.set_prefetch_depth(4);
+    typename ExtVector<uint64_t>::Writer w(&vec, 4);
+    Rng fill(seed + 2);
+    for (size_t i = 0; i < kScanItems; ++i) {
+      if (!w.Append(fill.Next())) break;
+    }
+    EXPECT_TRUE(w.Finish().ok());
+    std::vector<uint64_t> out;
+    EXPECT_TRUE(vec.ReadAll(&out, 4).ok());
+  };
+  // Baselines: each tenant alone, standalone context over its slice.
+  IoStats base[2];
+  for (int t = 0; t < 2; ++t) {
+    MemoryBlockDevice dev(4096);
+    ExecutionContext ctx(&dev, opts);
+    run_tenant(&ctx, 101 + uint64_t(t) * 17);
+    base[t] = dev.stats();
+  }
+  // Shared machine: one arbiter over 2x the memory, both tenants live.
+  MemoryArbiter::Config mcfg;
+  mcfg.budget_bytes = 2 * opts.memory_budget;
+  mcfg.block_size = opts.block_size;
+  mcfg.window_accesses = 8;
+  MemoryArbiter machine(mcfg);
+  MemoryBlockDevice dev0(4096), dev1(4096);
+  MemoryBlockDevice* devs[2] = {&dev0, &dev1};
+  std::unique_ptr<ExecutionContext> ctxs[2];
+  for (int t = 0; t < 2; ++t) {
+    auto tenant =
+        machine.RegisterTenant("tenant" + std::to_string(t), 1.0, 8);
+    ASSERT_NE(tenant, nullptr);
+    ctxs[t] = std::make_unique<ExecutionContext>(devs[t], opts, &machine,
+                                                 std::move(tenant));
+  }
+  std::thread t0([&] { run_tenant(ctxs[0].get(), 101); });
+  std::thread t1([&] { run_tenant(ctxs[1].get(), 101 + 17); });
+  t0.join();
+  t1.join();
+  EXPECT_LE(machine.charged_blocks(), machine.total_blocks());
+  EXPECT_EQ(devs[0]->stats(), base[0]);
+  EXPECT_EQ(devs[1]->stats(), base[1]);
 }
 
 }  // namespace
