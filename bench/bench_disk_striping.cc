@@ -18,9 +18,18 @@
 // sync vs engine-armed (stats must stay bit-identical, parent and
 // children) and the equivalent striped configuration, paired per repeat.
 //
+// Part 3 (degraded-mode smoke, deterministic in-memory children): the
+// same sort at D=4 with RAID-5-style parity armed and one child
+// fail-stopped mid-run — must COMPLETE with logical IoStats (parent and
+// every child) bit-identical to the healthy run, reconstruction showing
+// only on the RedundancyStats gauge. Exit code 3 when violated.
+//
 // Emits BENCH_independent_disks.json at the repo root. --smoke runs a
 // reduced sweep and exits non-zero unless every row keeps
 // stats_identical == 1 and armed speedup >= 0.95 — the CI gate.
+// --verbose additionally dumps the engine's per-disk health snapshot
+// (error/latency EWMAs, quarantine/fail-stop/rebuild flags) after the
+// file-backed rows.
 #include <algorithm>
 #include <chrono>
 #include <functional>
@@ -30,10 +39,12 @@
 
 #include "bench/bench_util.h"
 #include "core/ext_vector.h"
+#include "io/faulty_device.h"
 #include "io/file_block_device.h"
 #include "io/independent_disk_device.h"
 #include "io/io_engine.h"
 #include "io/io_ring.h"
+#include "io/memory_block_device.h"
 #include "io/striped_device.h"
 #include "sort/external_sort.h"
 #include "util/options.h"
@@ -383,10 +394,133 @@ void CountedComparison() {
       "one step per wave of distinct disks — see the wall-clock rows.\n\n");
 }
 
+// ---------------------------------------------- degraded-mode smoke
+
+struct DegradedRun {
+  bool completed = false;
+  IoStats parent;
+  std::vector<IoStats> children;
+  std::vector<uint64_t> output;
+  RedundancyStats gauge;
+};
+
+/// External sort at D=4 with parity armed via Options::redundancy;
+/// `kill` fail-stops head 1 mid-run — after roughly half the input's
+/// blocks worth of transfer attempts on that head, so the death lands
+/// inside the sort whatever g_shift scaled the workload to.
+/// In-memory children, engine off: exactly deterministic.
+DegradedRun RedundantSortRun(bool kill) {
+  constexpr size_t kRBlock = 1024;
+  std::vector<std::unique_ptr<MemoryBlockDevice>> inners;
+  std::vector<FaultyBlockDevice*> wrappers;
+  std::vector<std::unique_ptr<BlockDevice>> disks;
+  for (int d = 0; d < 4; ++d) {
+    inners.push_back(std::make_unique<MemoryBlockDevice>(kRBlock));
+    auto w = std::make_unique<FaultyBlockDevice>(inners.back().get());
+    wrappers.push_back(w.get());
+    disks.push_back(std::move(w));
+  }
+  IndependentDiskDevice dev(std::move(disks), kPlacementSeed);
+  Options ropts;
+  ropts.redundancy = Redundancy::kParity;
+  dev.SetRedundancy(ropts);
+
+  DegradedRun run;
+  Rng rng(404);
+  std::vector<uint64_t> data(20000 >> g_shift);
+  const size_t input_blocks = data.size() * sizeof(uint64_t) / kRBlock;
+  if (kill) wrappers[1]->SetDeadAfter(input_blocks / 2);
+  for (auto& v : data) v = rng.Next();
+  IoProbe probe(dev);
+  ExtVector<uint64_t> input(&dev);
+  if (!input.AppendAll(data.data(), data.size(), kDepth).ok()) return run;
+  ExternalSorter<uint64_t> sorter(&dev, 8 * kRBlock);
+  sorter.set_forecast_merge(true);
+  sorter.set_prefetch_depth(kDepth);
+  ExtVector<uint64_t> out(&dev);
+  Status s = sorter.Sort(input, &out);
+  if (!s.ok()) {
+    std::fprintf(stderr, "degraded sort failed: %s\n", s.ToString().c_str());
+    return run;
+  }
+  if (!out.ReadAll(&run.output).ok()) return run;
+  run.parent = probe.delta();
+  for (size_t d = 0; d < dev.num_disks(); ++d) {
+    run.children.push_back(dev.disk_stats(d));
+  }
+  run.gauge = dev.redundancy_stats();
+  run.completed = !kill || dev.DiskDead(1);
+  return run;
+}
+
+/// Part 3 gate: healthy vs one-head-dead at D=4 parity. True when the
+/// degraded run completed with bit-identical logical stats and real
+/// reconstruction traffic on the gauge.
+bool DegradedSmoke(JsonReport* report) {
+  DegradedRun healthy = RedundantSortRun(/*kill=*/false);
+  DegradedRun degraded = RedundantSortRun(/*kill=*/true);
+  bool identical = healthy.completed && degraded.completed &&
+                   healthy.output == degraded.output &&
+                   healthy.parent == degraded.parent &&
+                   healthy.children.size() == degraded.children.size();
+  if (identical) {
+    for (size_t d = 0; d < healthy.children.size(); ++d) {
+      identical = identical && healthy.children[d] == degraded.children[d];
+    }
+  }
+  bool reconstructed = degraded.gauge.degraded_reads > 0;
+  std::printf(
+      "\n## Degraded mode, D=4 parity, head 1 fail-stopped mid-sort\n"
+      "## (in-memory children, engine off — deterministic)\n\n");
+  Table t({"run", "completed", "stats identical", "degraded reads",
+           "degraded writes", "parity writes", "parity KiB"});
+  auto row = [&](const char* name, const DegradedRun& r) {
+    t.AddRow({name, r.completed ? "yes" : "NO", identical ? "yes" : "NO (BUG)",
+              FmtInt(r.gauge.degraded_reads), FmtInt(r.gauge.degraded_writes),
+              FmtInt(r.gauge.parity_writes),
+              FmtInt(r.gauge.parity_bytes / 1024)});
+  };
+  row("healthy", healthy);
+  row("one head dead", degraded);
+  t.Print();
+  std::printf(
+      "The cost model cannot tell the runs apart: reconstruction rides\n"
+      "the physical RedundancyStats gauge only.\n");
+  report->Add("degraded sort D=4 parity", "completed",
+              degraded.completed ? 1.0 : 0.0);
+  report->Add("degraded sort D=4 parity", "stats_identical",
+              identical ? 1.0 : 0.0);
+  report->Add("degraded sort D=4 parity", "degraded_reads",
+              double(degraded.gauge.degraded_reads));
+  report->Add("degraded sort D=4 parity", "parity_writes",
+              double(degraded.gauge.parity_writes));
+  return identical && reconstructed;
+}
+
+/// --verbose: the engine's per-disk health introspection, one line per
+/// tagged head the runs above touched.
+void PrintHealthSnapshot(const IoEngine& engine) {
+  auto snap = engine.HealthSnapshot();
+  std::printf("\n## Engine disk-health snapshot (%zu heads)\n\n",
+              snap.size());
+  Table t({"disk tag", "err ewma", "latency us", "samples", "quarantined",
+           "fail-stopped", "in rebuild"});
+  for (const auto& [tag, h] : snap) {
+    char hex[32];
+    std::snprintf(hex, sizeof(hex), "%012llx",
+                  static_cast<unsigned long long>(tag));
+    t.AddRow({hex, Fmt(h.error_ewma, 3), Fmt(h.latency_ewma_ns / 1000.0, 1),
+              FmtInt(h.samples), h.quarantined ? "yes" : "no",
+              h.fail_stopped ? "yes" : "no", h.in_rebuild ? "yes" : "no"});
+  }
+  t.Print();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const bool smoke = HasFlag(argc, argv, "--smoke");
+  const bool verbose = HasFlag(argc, argv, "--verbose");
   if (smoke) g_shift = 2;  // quarter workload: rows stay in the tens of ms
   const int repeats = smoke ? 4 : 3;
 
@@ -556,11 +690,18 @@ int main(int argc, char** argv) {
     std::printf("\nio_uring unavailable: backend rows skipped\n");
   }
 
+  const bool degraded_ok = DegradedSmoke(&report);
+  if (verbose) PrintHealthSnapshot(engine);
+
   if (!all_identical) {
     std::printf("ERROR: armed path changed IoStats — cost model violated\n");
   }
   if (smoke && !all_fast_enough) {
     std::printf("ERROR: an armed row fell below %.2fx sync\n", kMinSpeedup);
+  }
+  if (!degraded_ok) {
+    std::printf(
+        "ERROR: degraded-mode sort broke completion or stats identity\n");
   }
   if (smoke) {
     (void)report.WriteFile("BENCH_independent_disks.smoke.json");
@@ -574,5 +715,6 @@ int main(int argc, char** argv) {
   }
   if (!all_identical) return 1;
   if (smoke && !all_fast_enough) return 2;
+  if (!degraded_ok) return 3;
   return 0;
 }

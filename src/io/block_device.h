@@ -38,7 +38,13 @@ class PrefetchGovernor;
 /// this header needs no IoEngine definition. This is the device-side
 /// retry shim: it retries only Status::IsTransient() failures, and the
 /// health report fires per ATTEMPT — a disk whose faults are papered
-/// over by retries still accumulates error evidence.
+/// over by retries still accumulates error evidence. A final
+/// Status::IsIOError() result — the retry plane exhausted, or a
+/// permanent failure with no retry plane at all — additionally
+/// escalates to IoEngine::ReportDiskFailStop: the head's quarantine
+/// latches (success evidence no longer clears it) until a rebuild
+/// swaps in a spare and ForgetDisk retires the record. Corruption is
+/// NOT escalated — it indicts the block's content, not the head.
 Status RunWithDiskRetry(RetryPolicy* policy, IoEngine* engine,
                         uint64_t disk_tag, uint64_t key,
                         const std::function<Status()>& op);

@@ -118,6 +118,22 @@ class FaultyBlockDevice final : public BlockDevice {
   /// both planes): a slow-but-correct disk for latency-EWMA tests.
   void SetLatency(uint64_t micros) { latency_us_ = micros; }
 
+  /// Fail-stop mode: after `attempts` total transfer attempts (reads +
+  /// writes, both planes, 1-based), EVERY further attempt fails with a
+  /// permanent (non-transient) IOError, forever — a head that died
+  /// mid-run rather than a scheduled one-shot fault. 0 kills the device
+  /// immediately. Unlike transient schedules the retry plane cannot
+  /// absorb this; RunWithDiskRetry escalates it to the engine as
+  /// fail-stop evidence, and a redundancy-armed IndependentDiskDevice
+  /// serves the dead head's blocks by reconstruction. Deferred Account*
+  /// charging still reaches a dead device — accounting moves no bytes.
+  void SetDeadAfter(uint64_t attempts) { dead_after_ = attempts; }
+
+  /// True once the fail-stop schedule has started rejecting attempts.
+  bool dead() const {
+    return dead_after_ != kNever && reads_seen_ + writes_seen_ > dead_after_;
+  }
+
   /// Arm an indefinite stall on the N-th read/write attempt: the attempt
   /// blocks until ReleaseStalls(). See the file comment for the teardown
   /// obligation.
@@ -230,6 +246,10 @@ class FaultyBlockDevice final : public BlockDevice {
   /// order. OK means forward to the inner device.
   Status OnReadAttempt() {
     ++reads_seen_;
+    if (dead()) {
+      return Status::IOError("fail-stopped device (read attempt #" +
+                             std::to_string(reads_seen_) + ")");
+    }
     MaybeDelay();
     MaybeStall(reads_seen_, stall_read_at_);
     if (transient_reads_left_ > 0 && reads_seen_ >= transient_read_at_) {
@@ -248,6 +268,10 @@ class FaultyBlockDevice final : public BlockDevice {
   /// (the caller runs TearWrite, which needs the id and payload).
   Status OnWriteAttempt(bool* torn) {
     ++writes_seen_;
+    if (dead()) {
+      return Status::IOError("fail-stopped device (write attempt #" +
+                             std::to_string(writes_seen_) + ")");
+    }
     MaybeDelay();
     MaybeStall(writes_seen_, stall_write_at_);
     if (writes_seen_ == torn_write_at_) {
@@ -290,6 +314,8 @@ class FaultyBlockDevice final : public BlockDevice {
   uint64_t transient_reads_left_ = 0;
   uint64_t transient_write_at_ = kNever;
   uint64_t transient_writes_left_ = 0;
+  // Fail-stop schedule (see SetDeadAfter).
+  uint64_t dead_after_ = kNever;
   uint64_t latency_us_ = 0;
   // Indefinite-stall mode (see SetStallRead/ReleaseStalls). The cv state
   // is the only injection state engine workers may touch concurrently

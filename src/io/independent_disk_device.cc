@@ -1,6 +1,10 @@
 #include "io/independent_disk_device.h"
 
+#include <algorithm>
+#include <chrono>
+#include <cstring>
 #include <functional>
+#include <thread>
 
 #include "io/io_engine.h"
 
@@ -37,6 +41,52 @@ IndependentDiskDevice::IndependentDiskDevice(
   cycle_pos_ = cycle_.size();
 }
 
+void IndependentDiskDevice::SetRedundancy(Redundancy mode, size_t group_width) {
+  std::unique_lock<std::shared_mutex> lock(loc_mu_);
+  // Arming after blocks exist is ignored: placement history cannot be
+  // re-grouped. So is arming over more than 64 heads (the dead set is
+  // one atomic word) or without a second head to carry the redundancy.
+  if (!valid_ || !loc_.empty() || disks_.size() > 64 || disks_.size() < 2) {
+    return;
+  }
+  redundancy_ = mode;
+  if (mode == Redundancy::kParity) {
+    size_t g = group_width == 0 ? disks_.size() : group_width;
+    if (g < 2) g = 2;
+    if (g > disks_.size()) g = disks_.size();
+    group_data_ = g - 1;
+  } else {
+    group_data_ = 0;
+  }
+}
+
+RedundancyStats IndependentDiskDevice::redundancy_stats() const {
+  RedundancyStats s;
+  s.degraded_reads = g_degraded_reads_.load(std::memory_order_relaxed);
+  s.degraded_writes = g_degraded_writes_.load(std::memory_order_relaxed);
+  s.parity_writes = g_parity_writes_.load(std::memory_order_relaxed);
+  s.parity_bytes = g_parity_bytes_.load(std::memory_order_relaxed);
+  s.rebuilt_blocks = g_rebuilt_blocks_.load(std::memory_order_relaxed);
+  return s;
+}
+
+void IndependentDiskDevice::MarkDiskDead(size_t d) {
+  if (d >= disks_.size() || d >= 64) return;
+  dead_mask_.fetch_or(uint64_t{1} << d, std::memory_order_acq_rel);
+  // Mirror the latch into the engine's health plane (idempotent): the
+  // head leaves scheduling consideration and stays quarantined until a
+  // rebuild swap calls ForgetDisk.
+  if (engine_ != nullptr) {
+    engine_->ReportDiskFailStop(reinterpret_cast<uintptr_t>(disks_[d].get()));
+  }
+}
+
+bool IndependentDiskDevice::DiskDegraded(size_t d) const {
+  if (DiskDead(d)) return true;
+  return engine_ != nullptr &&
+         engine_->DiskQuarantined(reinterpret_cast<uintptr_t>(disks_[d].get()));
+}
+
 bool IndependentDiskDevice::Lookup(uint64_t id, Loc* out) const {
   std::shared_lock<std::shared_mutex> lock(loc_mu_);
   if (id >= loc_.size()) return false;
@@ -49,47 +99,132 @@ size_t IndependentDiskDevice::disk_of(uint64_t id) const {
   return Lookup(id, &l) ? l.disk : disks_.size();
 }
 
+uint32_t IndependentDiskDevice::NextCycleDisk() {
+  if (cycle_pos_ >= cycle_.size()) {
+    rng_.Shuffle(&cycle_);
+    cycle_pos_ = 0;
+    // One quarantine view per cycle (kNone diversion only): a head
+    // flapping between sick and healthy mid-cycle used to split one
+    // cycle's placement decisions across two views — the divert check
+    // raced per allocation. Snapshotting at the boundary makes every
+    // cycle's placement a function of a single consistent health state.
+    // Heads beyond index 63 are never diverted (mask is one word).
+    cycle_quarantine_mask_ = 0;
+    if (redundancy_ == Redundancy::kNone && engine_ != nullptr &&
+        engine_->AnyQuarantined()) {
+      for (uint64_t tag : engine_->QuarantinedTagsSnapshot()) {
+        for (size_t d = 0; d < disks_.size() && d < 64; ++d) {
+          if (reinterpret_cast<uintptr_t>(disks_[d].get()) == tag) {
+            cycle_quarantine_mask_ |= uint64_t{1} << d;
+          }
+        }
+      }
+    }
+  }
+  return cycle_[cycle_pos_++];
+}
+
+uint64_t IndependentDiskDevice::GroupDiskMaskLocked(uint64_t g) const {
+  uint64_t mask = 0;
+  const uint64_t lo = g * group_data_;
+  const uint64_t hi = lo + group_data_;
+  for (uint64_t m = lo; m < hi && m < loc_.size(); ++m) {
+    if (!freed_[m]) mask |= uint64_t{1} << loc_[m].disk;
+  }
+  auto it = parity_.find(g);
+  if (it != parity_.end()) mask |= uint64_t{1} << it->second.disk;
+  return mask;
+}
+
 uint64_t IndependentDiskDevice::Allocate() {
   if (!valid_) return 0;  // transfers on this id fail with InvalidArgument
+  // Redundancy-armed allocation also serializes on parity_mu_ (taken
+  // before loc_mu_, the global order): the rebuild's final pass holds
+  // parity_mu_ to quiesce placement while it swaps a spare in.
+  std::unique_lock<std::mutex> plock(parity_mu_, std::defer_lock);
+  if (RedundancyArmed()) plock.lock();
   std::unique_lock<std::shared_mutex> lock(loc_mu_);
   // Randomized cycling: consecutive allocations walk a random
   // permutation of the disks, reshuffled every D allocations. Any D
   // consecutive logical blocks therefore hit D distinct disks (a full
   // wave), while long-range placement is uniform random.
-  if (cycle_pos_ >= cycle_.size()) {
-    rng_.Shuffle(&cycle_);
-    cycle_pos_ = 0;
-  }
-  uint32_t disk = cycle_[cycle_pos_++];
-  // Quarantine-aware placement: while the engine's health monitor has a
-  // disk quarantined, new blocks avoid it (its existing blocks stay
-  // readable — retry still serves them) by walking further along the
-  // cycling permutation, up to one full circuit; with every disk sick
-  // the original pick stands. Fault-free runs never enter this branch,
-  // so seeded placement — and every stats-identity test built on it —
-  // is bit-identical with or without the health plane.
-  if (engine_ != nullptr && engine_->AnyQuarantined()) {
-    const size_t D = disks_.size();
-    size_t tried = 0;
-    while (tried < D && engine_->DiskQuarantined(reinterpret_cast<uintptr_t>(
-                            disks_[disk].get()))) {
-      if (cycle_pos_ >= cycle_.size()) {
-        rng_.Shuffle(&cycle_);
-        cycle_pos_ = 0;
+  //
+  // The logical id is fixed before the disk pick: under parity the id
+  // determines the group, and the group constrains the placement.
+  const uint64_t id = free_list_.empty() ? loc_.size() : free_list_.back();
+  uint32_t disk = NextCycleDisk();
+  const size_t D = disks_.size();
+  if (redundancy_ == Redundancy::kNone) {
+    // Quarantine-aware placement: while the cycle-boundary snapshot has
+    // a disk quarantined, new blocks avoid it (its existing blocks stay
+    // readable — retry still serves them) by walking further along the
+    // cycling permutation, up to one full circuit; with every disk sick
+    // the original pick stands. Fault-free runs never enter this
+    // branch, so seeded placement — and every stats-identity test built
+    // on it — is bit-identical with or without the health plane.
+    if (cycle_quarantine_mask_ != 0) {
+      size_t tried = 0;
+      while (tried < D && disk < 64 &&
+             ((cycle_quarantine_mask_ >> disk) & 1)) {
+        disk = NextCycleDisk();
+        tried++;
       }
-      disk = cycle_[cycle_pos_++];
+    }
+  } else if (redundancy_ == Redundancy::kParity) {
+    // Group-disjoint placement: walk the cycle past heads the group
+    // already occupies (live members + its parity block), so a single
+    // head failure costs a group at most one block. Redundancy-armed
+    // placement deliberately ignores quarantine — the allocation
+    // sequence must not depend on when a head got sick (see the
+    // accounting contract in the header).
+    const uint64_t used = GroupDiskMaskLocked(id / group_data_);
+    size_t tried = 0;
+    while (tried < 2 * D && ((used >> disk) & 1)) {
+      disk = NextCycleDisk();
       tried++;
     }
+    // The random walk can keep landing on occupied heads across
+    // reshuffles; a free head always exists (group + parity occupy at
+    // most G <= D heads and this member's slot is open), so fall back
+    // to a deterministic scan rather than colocate two group members —
+    // colocation would break single-failure reconstruction.
+    while ((used >> disk) & 1) disk = uint32_t((disk + 1) % D);
   }
-  uint64_t child = disks_[disk]->Allocate();
-  uint64_t id;
+  const uint64_t child = disks_[disk]->Allocate();
   if (!free_list_.empty()) {
-    id = free_list_.back();
     free_list_.pop_back();
     loc_[id] = Loc{disk, child};
+    if (RedundancyArmed()) {
+      written_[id] = 0;
+      freed_[id] = 0;
+    }
   } else {
-    id = loc_.size();
     loc_.push_back(Loc{disk, child});
+    if (RedundancyArmed()) {
+      written_.push_back(0);
+      freed_.push_back(0);
+      if (redundancy_ == Redundancy::kMirror) mirror_.push_back(Loc{0, 0});
+    }
+  }
+  if (redundancy_ == Redundancy::kParity) {
+    const uint64_t g = id / group_data_;
+    auto it = parity_.find(g);
+    if (it == parity_.end()) {
+      // Lazy parity block, rotation riding the allocator: scan from
+      // g % D for a head outside the group (only this first member
+      // exists yet), so parity load rotates across heads group by
+      // group instead of hammering one dedicated parity disk.
+      uint32_t pd = uint32_t(g % D);
+      while (pd == disk) pd = uint32_t((pd + 1) % D);
+      const uint64_t pchild = disks_[pd]->Allocate();
+      it = parity_.emplace(g, ParityLoc{pd, pchild, 0}).first;
+    }
+    it->second.live++;
+  } else if (redundancy_ == Redundancy::kMirror) {
+    // Copy head: deterministic offset from the primary, never equal.
+    const uint32_t md = uint32_t((disk + 1 + id % (D - 1)) % D);
+    const uint64_t mchild = disks_[md]->Allocate();
+    mirror_[id] = Loc{md, mchild};
   }
   allocated_++;
   return id;
@@ -97,11 +232,252 @@ uint64_t IndependentDiskDevice::Allocate() {
 
 void IndependentDiskDevice::Free(uint64_t id) {
   if (!valid_) return;
+  if (!RedundancyArmed()) {
+    std::unique_lock<std::shared_mutex> lock(loc_mu_);
+    if (id >= loc_.size()) return;
+    disks_[loc_[id].disk]->Free(loc_[id].child_id);
+    free_list_.push_back(id);
+    allocated_--;
+    return;
+  }
+  // parity_mu_ held for the whole Free: no other mutator (writes, other
+  // Frees, Allocate reusing this id, a rebuild swap) can interleave
+  // between the content fix-up and the placement update.
+  std::lock_guard<std::mutex> plock(parity_mu_);
+  Loc l{};
+  bool was_written = false;
+  ReconPlan plan;
+  bool have_plan = false;
+  {
+    std::unique_lock<std::shared_mutex> lock(loc_mu_);
+    if (id >= loc_.size() || freed_[id]) return;
+    l = loc_[id];
+    was_written = written_[id] != 0;
+    if (redundancy_ == Redundancy::kParity && was_written) {
+      have_plan = BuildReconPlan(id, /*loc_locked=*/true, &plan);
+    }
+  }
+  if (redundancy_ == Redundancy::kParity && was_written) {
+    // XOR the departing content back out of the group parity so the
+    // freed slot contributes zeros again — otherwise every later
+    // reconstruction in the group would be poisoned by a ghost block.
+    std::vector<char> old(block_size_);
+    Status s = Status::OK();
+    if (DiskDead(l.disk)) {
+      s = have_plan ? ExecuteReconPlan(plan, old.data())
+                    : Status::IOError("IndependentDiskDevice: dead head");
+    } else {
+      s = disks_[l.disk]->ReadUncounted(l.child_id, old.data());
+      if (s.ok()) {
+        g_parity_bytes_.fetch_add(block_size_, std::memory_order_relaxed);
+      } else if (s.IsIOError() && have_plan) {
+        MarkDiskDead(l.disk);
+        s = ExecuteReconPlan(plan, old.data());
+      }
+    }
+    // Best effort: an unreadable AND unreconstructable block (a double
+    // failure) leaves the group parity stale; a rebuild recomputes it.
+    if (s.ok()) {
+      (void)ApplyParityLocked(id / group_data_, old.data(),
+                              /*absolute=*/false);
+    }
+  }
   std::unique_lock<std::shared_mutex> lock(loc_mu_);
-  if (id >= loc_.size()) return;
-  disks_[loc_[id].disk]->Free(loc_[id].child_id);
+  disks_[l.disk]->Free(l.child_id);
+  written_[id] = 0;
+  freed_[id] = 1;
   free_list_.push_back(id);
   allocated_--;
+  if (redundancy_ == Redundancy::kParity) {
+    const uint64_t g = id / group_data_;
+    auto it = parity_.find(g);
+    if (it != parity_.end() && --it->second.live == 0) {
+      // Last member gone: the group dissolves and its parity block is
+      // returned to its head.
+      disks_[it->second.disk]->Free(it->second.child_id);
+      parity_.erase(it);
+      parity_written_.erase(g);
+    }
+  } else {
+    disks_[mirror_[id].disk]->Free(mirror_[id].child_id);
+  }
+  if (rebuilding_disk_ >= 0) rebuild_dirty_.insert(id);
+}
+
+bool IndependentDiskDevice::BuildReconPlan(uint64_t id, bool loc_locked,
+                                           ReconPlan* out) const {
+  auto build = [&]() -> bool {
+    if (id >= loc_.size()) return false;
+    out->target = loc_[id];
+    out->written = id < written_.size() && written_[id] != 0;
+    if (redundancy_ == Redundancy::kMirror) {
+      out->use_parity = false;
+      out->mirror = mirror_[id];
+      return true;
+    }
+    out->use_parity = true;
+    const uint64_t g = id / group_data_;
+    auto it = parity_.find(g);
+    if (it == parity_.end()) return false;  // no group: nothing to rebuild
+    out->parity = Loc{it->second.disk, it->second.child_id};
+    out->parity_written = parity_written_.count(g) != 0;  // parity_mu_ held
+    const uint64_t lo = g * group_data_;
+    const uint64_t hi = lo + group_data_;
+    out->peers.clear();
+    for (uint64_t m = lo; m < hi && m < loc_.size(); ++m) {
+      if (m == id || freed_[m] || !written_[m]) continue;
+      out->peers.push_back(loc_[m]);
+    }
+    return true;
+  };
+  if (loc_locked) return build();
+  std::shared_lock<std::shared_mutex> lock(loc_mu_);
+  return build();
+}
+
+Status IndependentDiskDevice::ExecuteReconPlan(const ReconPlan& plan,
+                                               void* out) {
+  if (!plan.written) {
+    // A never-written block reads as Corruption on the healthy path
+    // (MemoryBlockDevice contract); degraded mode must agree — and must
+    // NOT read G-1 blocks to find that out.
+    return Status::Corruption(
+        "IndependentDiskDevice: degraded read of never-written block");
+  }
+  const size_t B = block_size_;
+  // Reconstruction reads ride the retry shim like any other transfer —
+  // a transient fault on a surviving member must not fail the rebuild
+  // of a block the healthy path would have retried through.
+  auto read_member = [&](const Loc& l, void* buf) -> Status {
+    if (DiskDead(l.disk)) {
+      return Status::IOError(
+          "IndependentDiskDevice: double failure (surviving group member "
+          "on a dead head)");
+    }
+    BlockDevice* d = disks_[l.disk].get();
+    Status s;
+    if (retry_ == nullptr) {
+      s = d->ReadUncounted(l.child_id, buf);
+    } else {
+      s = RunWithDiskRetry(retry_, engine_, reinterpret_cast<uintptr_t>(d),
+                           l.child_id,
+                           [&] { return d->ReadUncounted(l.child_id, buf); });
+    }
+    if (s.ok()) g_parity_bytes_.fetch_add(B, std::memory_order_relaxed);
+    return s;
+  };
+  if (!plan.use_parity) {
+    VEM_RETURN_IF_ERROR(read_member(plan.mirror, out));
+    g_degraded_reads_.fetch_add(1, std::memory_order_relaxed);
+    return Status::OK();
+  }
+  if (!plan.parity_written) {
+    // The target was written but its parity never landed: the parity
+    // head was already dead when the write went through. Two lost
+    // heads' worth of state — outside the single-failure model.
+    return Status::IOError(
+        "IndependentDiskDevice: double failure (parity lost while the "
+        "home head was down)");
+  }
+  std::vector<char> acc(B, 0);
+  std::vector<char> tmp(B);
+  VEM_RETURN_IF_ERROR(read_member(plan.parity, acc.data()));
+  for (const Loc& p : plan.peers) {
+    VEM_RETURN_IF_ERROR(read_member(p, tmp.data()));
+    for (size_t j = 0; j < B; ++j) acc[j] ^= tmp[j];
+  }
+  std::memcpy(out, acc.data(), B);
+  g_degraded_reads_.fetch_add(1, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+Status IndependentDiskDevice::ReconstructLocked(uint64_t id, void* out) {
+  ReconPlan plan;
+  if (!BuildReconPlan(id, /*loc_locked=*/false, &plan)) {
+    return Status::InvalidArgument("IndependentDiskDevice: bad block id");
+  }
+  return ExecuteReconPlan(plan, out);
+}
+
+Status IndependentDiskDevice::ApplyParityLocked(uint64_t g, const char* delta,
+                                                bool absolute) {
+  Loc pl{};
+  bool have = false;
+  {
+    std::shared_lock<std::shared_mutex> lock(loc_mu_);
+    auto it = parity_.find(g);
+    if (it != parity_.end()) {
+      pl = Loc{it->second.disk, it->second.child_id};
+      have = true;
+    }
+  }
+  if (!have) {
+    return Status::InvalidArgument("IndependentDiskDevice: no parity group");
+  }
+  if (DiskDead(pl.disk)) {
+    // Single-failure model: with the parity head itself dead the data
+    // writes are the only copy. Skip silently (the gauge shows nothing
+    // landed); a rebuild of that head recomputes parity from members.
+    return Status::OK();
+  }
+  const size_t B = block_size_;
+  BlockDevice* pd = disks_[pl.disk].get();
+  const bool pw = parity_written_.count(g) != 0;
+  Status s;
+  if (absolute || !pw) {
+    // Full-stripe parity (or first content in the group): the delta IS
+    // the new parity — no read-modify-write.
+    s = pd->WriteUncounted(pl.child_id, delta);
+    if (s.ok()) {
+      g_parity_writes_.fetch_add(1, std::memory_order_relaxed);
+      g_parity_bytes_.fetch_add(B, std::memory_order_relaxed);
+    }
+  } else {
+    std::vector<char> cur(B);
+    s = pd->ReadUncounted(pl.child_id, cur.data());
+    if (s.ok()) {
+      for (size_t j = 0; j < B; ++j) cur[j] ^= delta[j];
+      s = pd->WriteUncounted(pl.child_id, cur.data());
+    }
+    if (s.ok()) {
+      g_parity_writes_.fetch_add(1, std::memory_order_relaxed);
+      g_parity_bytes_.fetch_add(2 * B, std::memory_order_relaxed);
+    }
+  }
+  if (s.IsIOError()) {
+    // The parity head just died; the data write still carries the
+    // content (same single-failure stance as the dead-skip above).
+    MarkDiskDead(pl.disk);
+    return Status::OK();
+  }
+  VEM_RETURN_IF_ERROR(s);
+  parity_written_.insert(g);
+  return Status::OK();
+}
+
+void IndependentDiskDevice::MarkWrittenShared(const uint64_t* ids, size_t n) {
+  // Single-byte slots of distinct ids never race; growth happens only
+  // under the exclusive lock, so shared suffices.
+  std::shared_lock<std::shared_mutex> lock(loc_mu_);
+  for (size_t i = 0; i < n; ++i) {
+    if (ids[i] < written_.size()) written_[ids[i]] = 1;
+  }
+}
+
+Status IndependentDiskDevice::DegradedReadBlock(uint64_t id, const Loc& l,
+                                                void* buf, bool counted) {
+  Status s;
+  {
+    std::lock_guard<std::mutex> plock(parity_mu_);
+    s = ReconstructLocked(id, buf);
+  }
+  VEM_RETURN_IF_ERROR(s);
+  // The home child is charged through its deferred plane exactly what
+  // its healthy synchronous read would have recorded, so per-child
+  // IoStats stay bit-identical; the reconstruction's physical reads
+  // already rode the gauge.
+  if (counted) disks_[l.disk]->AccountReads(1);
+  return Status::OK();
 }
 
 Status IndependentDiskDevice::Read(uint64_t id, void* buf) {
@@ -110,15 +486,38 @@ Status IndependentDiskDevice::Read(uint64_t id, void* buf) {
     return Status::InvalidArgument("IndependentDiskDevice: bad block id");
   }
   BlockDevice* disk = disks_[l.disk].get();
-  if (retry_ == nullptr) {
-    VEM_RETURN_IF_ERROR(disk->Read(l.child_id, buf));
+  if (RedundancyArmed() && DiskDegraded(l.disk)) {
+    VEM_RETURN_IF_ERROR(DegradedReadBlock(id, l, buf, /*counted=*/true));
   } else {
-    // Per-block retry at the parent: the child's counted single-block
-    // Read charges only on success, so whole-op re-execution cannot
-    // double-count, and failed attempts feed the child head's health.
-    VEM_RETURN_IF_ERROR(RunWithDiskRetry(
-        retry_, engine_, reinterpret_cast<uintptr_t>(disk), l.child_id,
-        [&] { return disk->Read(l.child_id, buf); }));
+    Status s;
+    if (retry_ == nullptr) {
+      s = disk->Read(l.child_id, buf);
+    } else {
+      // Per-block retry at the parent: the child's counted single-block
+      // Read charges only on success, so whole-op re-execution cannot
+      // double-count, and failed attempts feed the child head's health.
+      s = RunWithDiskRetry(retry_, engine_, reinterpret_cast<uintptr_t>(disk),
+                           l.child_id,
+                           [&] { return disk->Read(l.child_id, buf); });
+    }
+    if (RedundancyArmed() && !s.ok()) {
+      // A rebuild swap may have re-homed the block between the lookup
+      // and the transfer; one re-lookup closes that window.
+      Loc l2;
+      if (Lookup(id, &l2) &&
+          (l2.disk != l.disk || l2.child_id != l.child_id)) {
+        return Read(id, buf);
+      }
+      if (s.IsIOError()) {
+        // Permanent failure past the retry plane: latch the head dead
+        // and serve the block from the group. The failed attempt
+        // charged nothing, so the degraded path's deferred charge is
+        // the only one.
+        MarkDiskDead(l.disk);
+        s = DegradedReadBlock(id, l, buf, /*counted=*/true);
+      }
+    }
+    VEM_RETURN_IF_ERROR(s);
   }
   stats_.block_reads++;
   stats_.parallel_reads++;  // one head moved: one PDM step
@@ -127,6 +526,14 @@ Status IndependentDiskDevice::Read(uint64_t id, void* buf) {
 }
 
 Status IndependentDiskDevice::Write(uint64_t id, const void* buf) {
+  if (RedundancyArmed()) {
+    const void* one = buf;
+    VEM_RETURN_IF_ERROR(FanOutWrite(&id, &one, 1, /*counted=*/true));
+    stats_.block_writes++;
+    stats_.parallel_writes++;
+    stats_.bytes_written += block_size_;
+    return Status::OK();
+  }
   Loc l;
   if (!valid_ || !Lookup(id, &l)) {
     return Status::InvalidArgument("IndependentDiskDevice: bad block id");
@@ -239,10 +646,311 @@ Status IndependentDiskDevice::FanOut(const uint64_t* ids, void* const* bufs,
   return engine_->RunBatch(std::move(jobs), tags, /*retryable=*/!counted);
 }
 
+Status IndependentDiskDevice::FanOutRead(const uint64_t* ids, void* const* bufs,
+                                         size_t n, bool counted) {
+  if (!RedundancyArmed()) {
+    return FanOut(ids, bufs, n, /*write=*/false, counted);
+  }
+  if (!valid_) {
+    return Status::InvalidArgument(
+        "IndependentDiskDevice children violate preconditions");
+  }
+  const size_t D = disks_.size();
+  std::vector<std::vector<uint64_t>> child_ids(D);
+  std::vector<std::vector<void*>> child_bufs(D);
+  std::vector<std::vector<uint64_t>> logical(D);
+  // Blocks served by reconstruction: pre-known degraded heads get their
+  // home child charged per block (what the healthy batch would have
+  // recorded); blocks of a head that dies MID-batch are topped up in
+  // bulk below, so their reconstructions carry no extra charge.
+  struct Recon {
+    uint64_t id;
+    void* buf;
+    uint32_t disk;
+    bool charge;
+  };
+  std::vector<Recon> recon;
+  {
+    std::shared_lock<std::shared_mutex> lock(loc_mu_);
+    for (size_t i = 0; i < n; ++i) {
+      if (ids[i] >= loc_.size()) {
+        return Status::InvalidArgument("IndependentDiskDevice: bad block id");
+      }
+    }
+    for (size_t i = 0; i < n; ++i) {
+      const Loc& l = loc_[ids[i]];
+      if (DiskDegraded(l.disk)) {
+        recon.push_back(Recon{ids[i], bufs[i], l.disk, counted});
+      } else {
+        child_ids[l.disk].push_back(l.child_id);
+        child_bufs[l.disk].push_back(bufs[i]);
+        logical[l.disk].push_back(ids[i]);
+      }
+    }
+  }
+  // Child-stat snapshots turn a mid-batch death into an exact top-up:
+  // healthy charge nd minus what landed before the failure. Reading the
+  // counters here is safe — all jobs are waited before the re-read.
+  std::vector<uint64_t> before(D, 0);
+  if (counted) {
+    for (size_t d = 0; d < D; ++d) before[d] = disks_[d]->stats().block_reads;
+  }
+  std::vector<Status> st(D, Status::OK());
+  auto disk_op = [&](size_t d) -> Status {
+    const size_t nd = child_ids[d].size();
+    if (nd == 0) return Status::OK();
+    BlockDevice* disk = disks_[d].get();
+    Status s = counted
+                   ? disk->ReadBatch(child_ids[d].data(), child_bufs[d].data(),
+                                     nd)
+                   : disk->ReadBatchUncounted(child_ids[d].data(),
+                                              child_bufs[d].data(), nd);
+    st[d] = s;
+    return s;
+  };
+  if (engine_ == nullptr || D < 2) {
+    for (size_t d = 0; d < D; ++d) (void)disk_op(d);
+  } else {
+    std::vector<std::function<Status()>> jobs;
+    std::vector<uint64_t> tags;
+    for (size_t d = 0; d < D; ++d) {
+      if (child_ids[d].empty()) continue;
+      jobs.push_back([&disk_op, d] { return disk_op(d); });
+      tags.push_back(reinterpret_cast<uintptr_t>(disks_[d].get()));
+    }
+    (void)engine_->RunBatch(std::move(jobs), tags, /*retryable=*/!counted);
+  }
+  Status first_err = Status::OK();
+  for (size_t d = 0; d < D; ++d) {
+    if (st[d].ok()) continue;
+    if (st[d].IsIOError()) {
+      // The head died mid-batch: latch it, make the child's charge what
+      // the healthy batch would have recorded, and reconstruct every
+      // block it owed this batch (blocks that landed before the death
+      // are simply overwritten with identical content).
+      MarkDiskDead(d);
+      const size_t nd = child_ids[d].size();
+      if (counted) {
+        const uint64_t landed = disks_[d]->stats().block_reads - before[d];
+        if (landed < nd) disks_[d]->AccountReads(nd - landed);
+      }
+      for (size_t k = 0; k < nd; ++k) {
+        recon.push_back(
+            Recon{logical[d][k], child_bufs[d][k], uint32_t(d), false});
+      }
+    } else if (first_err.ok()) {
+      first_err = st[d];
+    }
+  }
+  VEM_RETURN_IF_ERROR(first_err);
+  if (!recon.empty()) {
+    std::lock_guard<std::mutex> plock(parity_mu_);
+    for (const Recon& r : recon) {
+      VEM_RETURN_IF_ERROR(ReconstructLocked(r.id, r.buf));
+      if (r.charge) disks_[r.disk]->AccountReads(1);
+    }
+  }
+  return Status::OK();
+}
+
+Status IndependentDiskDevice::FanOutWrite(const uint64_t* ids,
+                                          const void* const* bufs, size_t n,
+                                          bool counted) {
+  if (!RedundancyArmed()) {
+    return FanOut(ids, const_cast<void* const*>(bufs), n, /*write=*/true,
+                  counted);
+  }
+  if (!valid_) {
+    return Status::InvalidArgument(
+        "IndependentDiskDevice children violate preconditions");
+  }
+  const size_t D = disks_.size();
+  const size_t B = block_size_;
+  // Whole-batch parity critical section: deltas are computed against
+  // pre-batch contents and must land before any other writer interleaves
+  // its own read-modify-write. Engine jobs never take parity_mu_ and
+  // RunBatch's wait self-steals, so holding it across the fan-out cannot
+  // deadlock. NOTE: batches with duplicate ids are unsupported under
+  // redundancy (a duplicate would fold a stale old value into the
+  // delta); no caller in the repo issues them.
+  std::lock_guard<std::mutex> plock(parity_mu_);
+  std::vector<Loc> locs(n);
+  std::vector<uint8_t> wrt(n);
+  std::vector<Loc> mls;
+  {
+    std::shared_lock<std::shared_mutex> lock(loc_mu_);
+    for (size_t i = 0; i < n; ++i) {
+      if (ids[i] >= loc_.size()) {
+        return Status::InvalidArgument("IndependentDiskDevice: bad block id");
+      }
+    }
+    for (size_t i = 0; i < n; ++i) {
+      locs[i] = loc_[ids[i]];
+      wrt[i] = written_[ids[i]];
+    }
+    if (redundancy_ == Redundancy::kMirror) {
+      mls.resize(n);
+      for (size_t i = 0; i < n; ++i) mls[i] = mirror_[ids[i]];
+    }
+  }
+  // -------- phase A (parity): per-group deltas against old contents.
+  std::unordered_map<uint64_t, std::vector<char>> delta;
+  std::unordered_map<uint64_t, uint8_t> full;
+  if (redundancy_ == Redundancy::kParity) {
+    std::unordered_map<uint64_t, std::vector<size_t>> by_group;
+    for (size_t i = 0; i < n; ++i) {
+      by_group[ids[i] / group_data_].push_back(i);
+    }
+    std::vector<char> old(B);
+    for (auto& [g, idxs] : by_group) {
+      uint32_t live = 0;
+      {
+        std::shared_lock<std::shared_mutex> lock(loc_mu_);
+        auto it = parity_.find(g);
+        if (it != parity_.end()) live = it->second.live;
+      }
+      auto& dl = delta[g];
+      dl.assign(B, 0);
+      const bool full_stripe = idxs.size() >= live;
+      full[g] = full_stripe ? 1 : 0;
+      if (full_stripe) {
+        // The batch covers every live member: parity becomes the XOR of
+        // the new contents outright — the classic full-stripe win, no
+        // old-data reads at all.
+        for (size_t idx : idxs) {
+          const char* nb = static_cast<const char*>(bufs[idx]);
+          for (size_t j = 0; j < B; ++j) dl[j] ^= nb[j];
+        }
+        continue;
+      }
+      // Small write: delta = XOR over (old ^ new) of the touched
+      // members. Never-written members contribute zeros without a read.
+      for (size_t idx : idxs) {
+        std::fill(old.begin(), old.end(), 0);
+        if (wrt[idx]) {
+          Status s;
+          if (DiskDead(locs[idx].disk)) {
+            s = ReconstructLocked(ids[idx], old.data());
+          } else {
+            s = disks_[locs[idx].disk]->ReadUncounted(locs[idx].child_id,
+                                                      old.data());
+            if (s.ok()) {
+              g_parity_bytes_.fetch_add(B, std::memory_order_relaxed);
+            } else if (s.IsIOError()) {
+              MarkDiskDead(locs[idx].disk);
+              s = ReconstructLocked(ids[idx], old.data());
+            }
+          }
+          VEM_RETURN_IF_ERROR(s);
+        }
+        const char* nb = static_cast<const char*>(bufs[idx]);
+        for (size_t j = 0; j < B; ++j) dl[j] ^= old[j] ^ nb[j];
+      }
+    }
+  }
+  // -------- phase B: data writes fan out to live heads only. A dead
+  // head's blocks are carried by the redundancy plane alone, charged
+  // through the deferred plane exactly as the healthy write would have
+  // been (bit-identical child IoStats).
+  std::vector<std::vector<uint64_t>> child_ids(D);
+  std::vector<std::vector<void*>> child_bufs(D);
+  for (size_t i = 0; i < n; ++i) {
+    const uint32_t d = locs[i].disk;
+    if (DiskDead(d)) {
+      if (counted) disks_[d]->AccountWrites(1);
+      g_degraded_writes_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      child_ids[d].push_back(locs[i].child_id);
+      child_bufs[d].push_back(const_cast<void*>(bufs[i]));
+    }
+  }
+  std::vector<uint64_t> before(D, 0);
+  if (counted) {
+    for (size_t d = 0; d < D; ++d) before[d] = disks_[d]->stats().block_writes;
+  }
+  std::vector<Status> st(D, Status::OK());
+  auto disk_op = [&](size_t d) -> Status {
+    const size_t nd = child_ids[d].size();
+    if (nd == 0) return Status::OK();
+    BlockDevice* disk = disks_[d].get();
+    Status s =
+        counted
+            ? disk->WriteBatch(
+                  child_ids[d].data(),
+                  const_cast<const void* const*>(child_bufs[d].data()), nd)
+            : disk->WriteBatchUncounted(
+                  child_ids[d].data(),
+                  const_cast<const void* const*>(child_bufs[d].data()), nd);
+    st[d] = s;
+    return s;
+  };
+  if (engine_ == nullptr || D < 2) {
+    for (size_t d = 0; d < D; ++d) (void)disk_op(d);
+  } else {
+    std::vector<std::function<Status()>> jobs;
+    std::vector<uint64_t> tags;
+    for (size_t d = 0; d < D; ++d) {
+      if (child_ids[d].empty()) continue;
+      jobs.push_back([&disk_op, d] { return disk_op(d); });
+      tags.push_back(reinterpret_cast<uintptr_t>(disks_[d].get()));
+    }
+    (void)engine_->RunBatch(std::move(jobs), tags, /*retryable=*/!counted);
+  }
+  Status first_err = Status::OK();
+  for (size_t d = 0; d < D; ++d) {
+    if (st[d].ok()) continue;
+    if (st[d].IsIOError()) {
+      MarkDiskDead(d);
+      const size_t nd = child_ids[d].size();
+      if (counted) {
+        const uint64_t landed = disks_[d]->stats().block_writes - before[d];
+        if (landed < nd) disks_[d]->AccountWrites(nd - landed);
+      }
+      g_degraded_writes_.fetch_add(nd, std::memory_order_relaxed);
+    } else if (first_err.ok()) {
+      first_err = st[d];
+    }
+  }
+  // -------- phase C: land the redundancy copies — even when a head died
+  // mid-batch. Parity reflects the ATTEMPTED contents, which is exactly
+  // what reconstruction must return for the blocks that never landed.
+  if (redundancy_ == Redundancy::kParity) {
+    for (auto& [g, dl] : delta) {
+      Status s = ApplyParityLocked(g, dl.data(), full[g] != 0);
+      if (!s.ok() && first_err.ok()) first_err = s;
+    }
+  } else {
+    for (size_t i = 0; i < n; ++i) {
+      if (DiskDead(mls[i].disk)) continue;  // copy lost; primary carries it
+      Status s = disks_[mls[i].disk]->WriteUncounted(mls[i].child_id, bufs[i]);
+      if (s.ok()) {
+        g_parity_writes_.fetch_add(1, std::memory_order_relaxed);
+        g_parity_bytes_.fetch_add(B, std::memory_order_relaxed);
+      } else if (s.IsIOError()) {
+        MarkDiskDead(mls[i].disk);
+      } else if (first_err.ok()) {
+        first_err = s;
+      }
+    }
+  }
+  // -------- phase D: flags + rebuild dirty tracking.
+  MarkWrittenShared(ids, n);
+  if (rebuilding_disk_ >= 0) {
+    for (size_t i = 0; i < n; ++i) {
+      if (int(locs[i].disk) == rebuilding_disk_ ||
+          (redundancy_ == Redundancy::kMirror &&
+           int(mls[i].disk) == rebuilding_disk_)) {
+        rebuild_dirty_.insert(ids[i]);
+      }
+    }
+  }
+  return first_err;
+}
+
 Status IndependentDiskDevice::ReadBatch(const uint64_t* ids, void* const* bufs,
                                         size_t n) {
   if (n == 0) return Status::OK();
-  VEM_RETURN_IF_ERROR(FanOut(ids, bufs, n, /*write=*/false, /*counted=*/true));
+  VEM_RETURN_IF_ERROR(FanOutRead(ids, bufs, n, /*counted=*/true));
   uint64_t waves = CountWaves(ids, n);
   stats_.block_reads += n;
   stats_.parallel_reads += waves;
@@ -253,8 +961,7 @@ Status IndependentDiskDevice::ReadBatch(const uint64_t* ids, void* const* bufs,
 Status IndependentDiskDevice::WriteBatch(const uint64_t* ids,
                                          const void* const* bufs, size_t n) {
   if (n == 0) return Status::OK();
-  VEM_RETURN_IF_ERROR(FanOut(ids, const_cast<void* const*>(bufs), n,
-                             /*write=*/true, /*counted=*/true));
+  VEM_RETURN_IF_ERROR(FanOutWrite(ids, bufs, n, /*counted=*/true));
   // Independent-head charging, same rule as ReadBatch: every block
   // counted, one parallel step per wave of distinct disks. Randomized
   // cycling makes any D consecutive allocations a full wave, so grouped
@@ -286,13 +993,35 @@ Status IndependentDiskDevice::ReadUncounted(uint64_t id, void* buf) {
     return Status::InvalidArgument("IndependentDiskDevice: bad block id");
   }
   BlockDevice* disk = disks_[l.disk].get();
-  if (retry_ == nullptr) return disk->ReadUncounted(l.child_id, buf);
-  return RunWithDiskRetry(retry_, engine_,
-                          reinterpret_cast<uintptr_t>(disk), l.child_id,
-                          [&] { return disk->ReadUncounted(l.child_id, buf); });
+  if (RedundancyArmed() && DiskDegraded(l.disk)) {
+    return DegradedReadBlock(id, l, buf, /*counted=*/false);
+  }
+  Status s;
+  if (retry_ == nullptr) {
+    s = disk->ReadUncounted(l.child_id, buf);
+  } else {
+    s = RunWithDiskRetry(retry_, engine_, reinterpret_cast<uintptr_t>(disk),
+                         l.child_id,
+                         [&] { return disk->ReadUncounted(l.child_id, buf); });
+  }
+  if (RedundancyArmed() && !s.ok()) {
+    Loc l2;  // a rebuild swap may have re-homed the block mid-flight
+    if (Lookup(id, &l2) && (l2.disk != l.disk || l2.child_id != l.child_id)) {
+      return ReadUncounted(id, buf);
+    }
+    if (s.IsIOError()) {
+      MarkDiskDead(l.disk);
+      return DegradedReadBlock(id, l, buf, /*counted=*/false);
+    }
+  }
+  return s;
 }
 
 Status IndependentDiskDevice::WriteUncounted(uint64_t id, const void* buf) {
+  if (RedundancyArmed()) {
+    const void* one = buf;
+    return FanOutWrite(&id, &one, 1, /*counted=*/false);
+  }
   Loc l;
   if (!valid_ || !Lookup(id, &l)) {
     return Status::InvalidArgument("IndependentDiskDevice: bad block id");
@@ -307,15 +1036,14 @@ Status IndependentDiskDevice::WriteUncounted(uint64_t id, const void* buf) {
 Status IndependentDiskDevice::ReadBatchUncounted(const uint64_t* ids,
                                                  void* const* bufs, size_t n) {
   if (n == 0) return Status::OK();
-  return FanOut(ids, bufs, n, /*write=*/false, /*counted=*/false);
+  return FanOutRead(ids, bufs, n, /*counted=*/false);
 }
 
 Status IndependentDiskDevice::WriteBatchUncounted(const uint64_t* ids,
                                                   const void* const* bufs,
                                                   size_t n) {
   if (n == 0) return Status::OK();
-  return FanOut(ids, const_cast<void* const*>(bufs), n, /*write=*/true,
-                /*counted=*/false);
+  return FanOutWrite(ids, bufs, n, /*counted=*/false);
 }
 
 void IndependentDiskDevice::AccountReads(uint64_t blocks) {
@@ -409,6 +1137,346 @@ void IndependentDiskDevice::AccountWriteBatch(const uint64_t* ids,
   stats_.block_writes += blocks;
   stats_.parallel_writes += waves;
   stats_.bytes_written += blocks * block_size_;
+}
+
+Status IndependentDiskDevice::AttachSpare(std::unique_ptr<BlockDevice> spare) {
+  if (spare == nullptr || spare->block_size() != block_size_ ||
+      spare->num_allocated() != 0) {
+    return Status::InvalidArgument(
+        "IndependentDiskDevice: spare must be fresh and share the block "
+        "size");
+  }
+  std::unique_lock<std::shared_mutex> lock(loc_mu_);
+  spares_.push_back(std::move(spare));
+  return Status::OK();
+}
+
+size_t IndependentDiskDevice::spares_available() const {
+  std::shared_lock<std::shared_mutex> lock(loc_mu_);
+  return spares_.size();
+}
+
+Status IndependentDiskDevice::RebuildDisk(size_t d,
+                                          const std::function<bool()>& cancel,
+                                          size_t batch_blocks) {
+  if (!valid_ || d >= disks_.size()) {
+    return Status::InvalidArgument("IndependentDiskDevice: bad disk index");
+  }
+  if (!RedundancyArmed()) {
+    return Status::NotSupported(
+        "IndependentDiskDevice: rebuild requires redundancy");
+  }
+  if (batch_blocks == 0) batch_blocks = 1;
+  const size_t B = block_size_;
+  std::unique_ptr<BlockDevice> spare;
+  {
+    std::unique_lock<std::shared_mutex> lock(loc_mu_);
+    if (spares_.empty()) {
+      return Status::Unavailable("IndependentDiskDevice: no spare attached");
+    }
+    spare = std::move(spares_.back());
+    spares_.pop_back();
+  }
+  spare->set_retry_policy(retry_);
+  spare->set_io_engine(engine_);
+  const uint64_t old_tag = reinterpret_cast<uintptr_t>(disks_[d].get());
+  if (engine_ != nullptr) engine_->SetDiskRebuilding(old_tag, true);
+  {
+    std::lock_guard<std::mutex> plock(parity_mu_);
+    rebuilding_disk_ = int(d);
+    rebuild_dirty_.clear();
+  }
+  // Drained so far: logical id (or parity group) -> spare child block.
+  std::unordered_map<uint64_t, uint64_t> data_map;
+  std::unordered_map<uint64_t, uint64_t> mirror_map;
+  std::unordered_map<uint64_t, uint64_t> parity_map;
+  std::unordered_map<uint64_t, uint8_t> parity_has;
+  std::vector<char> buf(B);
+
+  // Undo everything and re-park the spare (cancel or failure).
+  auto park = [&](Status why) -> Status {
+    for (auto& [id, sc] : data_map) spare->Free(sc);
+    for (auto& [id, sc] : mirror_map) spare->Free(sc);
+    for (auto& [g, sc] : parity_map) spare->Free(sc);
+    {
+      std::lock_guard<std::mutex> plock(parity_mu_);
+      rebuilding_disk_ = -1;
+      rebuild_dirty_.clear();
+    }
+    {
+      std::unique_lock<std::shared_mutex> lock(loc_mu_);
+      spares_.push_back(std::move(spare));
+    }
+    if (engine_ != nullptr) engine_->SetDiskRebuilding(old_tag, false);
+    return why;
+  };
+
+  // Copy logical block `id` onto spare child `sc` (parity_mu_ held):
+  // direct read while the head still answers (a quarantined-but-alive
+  // head is current — writes keep landing on it), group reconstruction
+  // when it is dead. Unwritten blocks only claim the slot.
+  auto copy_data = [&](uint64_t id, uint64_t sc) -> Status {
+    ReconPlan plan;
+    if (!BuildReconPlan(id, /*loc_locked=*/false, &plan)) {
+      return Status::InvalidArgument("IndependentDiskDevice: lost block");
+    }
+    if (!plan.written) return Status::OK();
+    Status s;
+    if (DiskDead(plan.target.disk)) {
+      s = ExecuteReconPlan(plan, buf.data());
+    } else {
+      s = disks_[plan.target.disk]->ReadUncounted(plan.target.child_id,
+                                                  buf.data());
+      if (s.ok()) {
+        g_parity_bytes_.fetch_add(B, std::memory_order_relaxed);
+      } else if (s.IsIOError()) {
+        MarkDiskDead(plan.target.disk);
+        s = ExecuteReconPlan(plan, buf.data());
+      }
+    }
+    VEM_RETURN_IF_ERROR(s);
+    VEM_RETURN_IF_ERROR(spare->WriteUncounted(sc, buf.data()));
+    g_rebuilt_blocks_.fetch_add(1, std::memory_order_relaxed);
+    g_parity_bytes_.fetch_add(B, std::memory_order_relaxed);
+    return Status::OK();
+  };
+
+  // Copy the MIRROR copy of `id` (homed on d) onto the spare: prefer
+  // reading the copy itself (head d merely sick), else the primary.
+  auto copy_mirror = [&](uint64_t id, uint64_t sc) -> Status {
+    Loc ml{}, pl{};
+    bool w = false;
+    {
+      std::shared_lock<std::shared_mutex> lock(loc_mu_);
+      if (id >= loc_.size() || freed_[id]) return Status::OK();
+      ml = mirror_[id];
+      pl = loc_[id];
+      w = written_[id] != 0;
+    }
+    if (!w) return Status::OK();
+    Status s;
+    if (!DiskDead(ml.disk)) {
+      s = disks_[ml.disk]->ReadUncounted(ml.child_id, buf.data());
+    } else if (!DiskDead(pl.disk)) {
+      s = disks_[pl.disk]->ReadUncounted(pl.child_id, buf.data());
+    } else {
+      s = Status::IOError(
+          "IndependentDiskDevice: double failure (primary and copy dead)");
+    }
+    VEM_RETURN_IF_ERROR(s);
+    VEM_RETURN_IF_ERROR(spare->WriteUncounted(sc, buf.data()));
+    g_rebuilt_blocks_.fetch_add(1, std::memory_order_relaxed);
+    g_parity_bytes_.fetch_add(2 * B, std::memory_order_relaxed);
+    return Status::OK();
+  };
+
+  // Depth-gauge politeness between batches: back off while demand
+  // traffic saturates the engine (bounded — rebuild must still make
+  // progress on a permanently busy box).
+  auto throttle = [&] {
+    if (engine_ == nullptr) return;
+    for (int spin = 0; spin < 100 && engine_->Headroom() < 0.25; ++spin) {
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+  };
+
+  // Snapshot the work: data blocks homed on d, plus mirror copies homed
+  // on d. Parity blocks homed on d are NOT drained here — their content
+  // may go stale while the workload keeps writing (a dead parity head's
+  // updates are skipped), so the final quiesced pass recomputes every
+  // one of them from its members instead.
+  std::vector<uint64_t> work;
+  std::vector<uint64_t> mwork;
+  {
+    std::shared_lock<std::shared_mutex> lock(loc_mu_);
+    for (uint64_t id = 0; id < loc_.size(); ++id) {
+      if (!freed_[id] && loc_[id].disk == d) work.push_back(id);
+    }
+    if (redundancy_ == Redundancy::kMirror) {
+      for (uint64_t id = 0; id < loc_.size(); ++id) {
+        if (!freed_[id] && mirror_[id].disk == d) mwork.push_back(id);
+      }
+    }
+  }
+  Status err = Status::OK();
+  bool cancelled = false;
+  for (size_t list = 0; list < 2 && err.ok() && !cancelled; ++list) {
+    const std::vector<uint64_t>& ids = list == 0 ? work : mwork;
+    size_t pos = 0;
+    while (pos < ids.size()) {
+      if (cancel && cancel()) {
+        cancelled = true;
+        break;
+      }
+      throttle();
+      std::lock_guard<std::mutex> plock(parity_mu_);
+      for (size_t k = 0; k < batch_blocks && pos < ids.size(); ++k, ++pos) {
+        const uint64_t id = ids[pos];
+        {
+          // The workload may have freed or re-homed the block since the
+          // snapshot; the final pass handles anything that changes
+          // AFTER this drain touches it (rebuild_dirty_).
+          std::shared_lock<std::shared_mutex> lock(loc_mu_);
+          if (id >= loc_.size() || freed_[id]) continue;
+          if (list == 0 && loc_[id].disk != d) continue;
+          if (list == 1 && mirror_[id].disk != d) continue;
+        }
+        auto& map = list == 0 ? data_map : mirror_map;
+        const uint64_t sc = spare->Allocate();
+        map[id] = sc;
+        err = list == 0 ? copy_data(id, sc) : copy_mirror(id, sc);
+        if (!err.ok()) break;
+      }
+      if (!err.ok()) break;
+    }
+  }
+  if (cancelled) {
+    return park(Status::Busy(
+        "IndependentDiskDevice: rebuild cancelled (head recovered)"));
+  }
+  if (!err.ok()) return park(err);
+
+  // Final quiesced pass. parity_mu_ blocks every mutator (Allocate,
+  // Free, and all writes take it first), so the placement maps are
+  // frozen; the copies below still drop loc_mu_ around physical I/O.
+  {
+    std::lock_guard<std::mutex> plock(parity_mu_);
+    std::vector<uint64_t> fix_data;
+    std::vector<uint64_t> fix_mirror;
+    std::vector<uint64_t> groups;
+    {
+      std::unique_lock<std::shared_mutex> lock(loc_mu_);
+      for (uint64_t id = 0; id < loc_.size(); ++id) {
+        if (freed_[id]) continue;
+        if (loc_[id].disk == d &&
+            (data_map.find(id) == data_map.end() ||
+             rebuild_dirty_.count(id) != 0)) {
+          fix_data.push_back(id);
+        }
+        if (redundancy_ == Redundancy::kMirror && mirror_[id].disk == d &&
+            (mirror_map.find(id) == mirror_map.end() ||
+             rebuild_dirty_.count(id) != 0)) {
+          fix_mirror.push_back(id);
+        }
+      }
+      if (redundancy_ == Redundancy::kParity) {
+        for (const auto& [g, pl] : parity_) {
+          if (pl.disk == d) groups.push_back(g);
+        }
+        std::sort(groups.begin(), groups.end());
+      }
+    }
+    for (uint64_t id : fix_data) {
+      auto it = data_map.find(id);
+      const uint64_t sc = it == data_map.end() ? spare->Allocate() : it->second;
+      data_map[id] = sc;
+      err = copy_data(id, sc);
+      if (!err.ok()) break;
+    }
+    if (err.ok()) {
+      for (uint64_t id : fix_mirror) {
+        auto it = mirror_map.find(id);
+        const uint64_t sc =
+            it == mirror_map.end() ? spare->Allocate() : it->second;
+        mirror_map[id] = sc;
+        err = copy_mirror(id, sc);
+        if (!err.ok()) break;
+      }
+    }
+    if (err.ok() && redundancy_ == Redundancy::kParity) {
+      // Recompute every parity block homed on d fresh from its members:
+      // a drained copy of the old parity could be stale (updates were
+      // silently skipped while d was dead), so XOR-from-members is the
+      // only safe content.
+      for (uint64_t g : groups) {
+        std::vector<Loc> members;
+        {
+          std::shared_lock<std::shared_mutex> lock(loc_mu_);
+          const uint64_t lo = g * group_data_;
+          const uint64_t hi = lo + group_data_;
+          for (uint64_t m = lo; m < hi && m < loc_.size(); ++m) {
+            if (!freed_[m] && written_[m]) members.push_back(loc_[m]);
+          }
+        }
+        const uint64_t sc = spare->Allocate();
+        parity_map[g] = sc;
+        if (members.empty()) {
+          parity_has[g] = 0;
+          continue;
+        }
+        std::vector<char> acc(B, 0);
+        for (const Loc& m : members) {
+          if (DiskDead(m.disk)) {
+            err = Status::IOError(
+                "IndependentDiskDevice: double failure (group member dead "
+                "during parity recompute)");
+            break;
+          }
+          err = disks_[m.disk]->ReadUncounted(m.child_id, buf.data());
+          if (!err.ok()) break;
+          g_parity_bytes_.fetch_add(B, std::memory_order_relaxed);
+          for (size_t j = 0; j < B; ++j) acc[j] ^= buf[j];
+        }
+        if (!err.ok()) break;
+        err = spare->WriteUncounted(sc, acc.data());
+        if (!err.ok()) break;
+        parity_has[g] = 1;
+        g_rebuilt_blocks_.fetch_add(1, std::memory_order_relaxed);
+        g_parity_bytes_.fetch_add(B, std::memory_order_relaxed);
+      }
+    }
+    if (err.ok()) {
+      // SWAP: placement flips to the spare, the dead latch clears. The
+      // retired head stays alive for the device's lifetime — engine
+      // queues and health records key on its pointer.
+      std::unique_lock<std::shared_mutex> lock(loc_mu_);
+      for (auto& [id, sc] : data_map) {
+        if (id < loc_.size() && !freed_[id] && loc_[id].disk == d) {
+          loc_[id] = Loc{uint32_t(d), sc};
+        } else {
+          spare->Free(sc);  // freed or re-homed while draining
+        }
+      }
+      if (redundancy_ == Redundancy::kMirror) {
+        for (auto& [id, sc] : mirror_map) {
+          if (id < loc_.size() && !freed_[id] && mirror_[id].disk == d) {
+            mirror_[id] = Loc{uint32_t(d), sc};
+          } else {
+            spare->Free(sc);
+          }
+        }
+      } else {
+        for (auto& [g, sc] : parity_map) {
+          auto it = parity_.find(g);
+          if (it != parity_.end() && it->second.disk == d) {
+            it->second.child_id = sc;
+            if (parity_has[g]) {
+              parity_written_.insert(g);
+            } else {
+              parity_written_.erase(g);
+            }
+          } else {
+            spare->Free(sc);  // group dissolved while draining
+          }
+        }
+      }
+      retired_.push_back(std::move(disks_[d]));
+      disks_[d] = std::move(spare);
+      dead_mask_.fetch_and(~(uint64_t{1} << d), std::memory_order_acq_rel);
+      rebuilding_disk_ = -1;
+      rebuild_dirty_.clear();
+    }
+  }
+  if (!err.ok()) return park(err);
+  if (engine_ != nullptr) {
+    // The old head's health record (and its latched quarantine) retires
+    // with it; the spare inherits the route label with a clean slate.
+    engine_->SetDiskRebuilding(old_tag, false);
+    engine_->ForgetDisk(old_tag);
+    engine_->LabelDisk(reinterpret_cast<uintptr_t>(disks_[d].get()),
+                       uint64_t{d} + 1);
+  }
+  return Status::OK();
 }
 
 void IndependentDiskDevice::set_retry_policy(RetryPolicy* retry) {

@@ -41,16 +41,64 @@
 // AccountWriteIds) routing each charge to the child that physically
 // served the block, so IoStats — parent and children — are bit-identical
 // with overlap on or off.
+//
+// ---------------------------------------------------- redundancy plane
+//
+// SetRedundancy (Options::redundancy) arms single-head fault tolerance:
+//
+//  - PARITY: logical ids are grouped G-1 at a time (group of id = id /
+//    (G-1), G = Options::parity_group_width clamped to [2, D]); each
+//    group lazily owns one PARITY block = XOR of its members, placed on
+//    a head distinct from every member (rotation rides the cycling
+//    allocator: the parity head scans from group % D, and member
+//    placement skips heads the group already occupies). Writes maintain
+//    parity read-modify-write — or full-stripe, skipping the old-data
+//    reads, when one batch covers every live member of a group.
+//  - MIRROR: every block keeps a full copy on a second head.
+//
+// DEGRADED MODE: when a block's home head is quarantined by the engine's
+// health monitor, or a transfer on it fails with a permanent Status
+// after the retry plane is exhausted (the device then latches the head
+// dead and RunWithDiskRetry escalates fail-stop evidence to the
+// engine), reads reconstruct the block from the G-1 surviving group
+// members (or the mirror copy) as one uncounted wave. Writes divert
+// only for DEAD heads — a quarantined-but-alive head still receives
+// writes so its contents stay current if it recovers — landing the
+// content in the parity/mirror plane alone.
+//
+// ACCOUNTING CONTRACT: logical IoStats (parent and children) stay
+// bit-identical healthy vs degraded. Placement with redundancy armed
+// deliberately IGNORES quarantine (unlike the kNone divert below), so
+// the allocation sequence — and thus every wave count — cannot depend
+// on when a head died; degraded paths charge the home child through
+// its Account* plane exactly as the healthy transfer would have. All
+// physical redundancy traffic (parity RMW, mirror copies,
+// reconstruction reads, rebuild drains) rides RedundancyStats, a gauge
+// as separate from IoStats as the retry plane's.
+//
+// REBUILD: AttachSpare parks hot spares; RebuildDisk(d) drains head d's
+// blocks onto a spare (reconstructing content when d is dead, copying
+// when merely sick), throttled by the engine's depth gauge, then
+// atomically swaps the spare in — placement flips back, the engine
+// forgets the dead head's health record, and reads are non-degraded
+// again. RebuildManager (io/rebuild_manager.h) runs this as a
+// background policy loop. Redundancy supports up to 64 heads (the dead
+// set is one atomic word).
 #pragma once
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
+#include <mutex>
 #include <shared_mutex>
+#include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "io/block_device.h"
 #include "io/memory_block_device.h"
+#include "util/options.h"
 #include "util/random.h"
 
 namespace vem {
@@ -160,21 +208,140 @@ class IndependentDiskDevice final : public BlockDevice {
   /// merge's cost reasoning).
   uint64_t CountWaves(const uint64_t* ids, size_t n) const;
 
+  // ------------------------------------------------- redundancy plane
+  /// Arm a redundancy scheme (see file comment). Must be called before
+  /// the first Allocate and with at most 64 heads; otherwise it is
+  /// ignored and the device stays at kNone. `group_width` is G for
+  /// kParity (0 = D), clamped to [2, D]; ignored for kMirror.
+  void SetRedundancy(Redundancy mode, size_t group_width = 0);
+  /// Options-driven arming (Options::redundancy / parity_group_width).
+  void SetRedundancy(const Options& opts) {
+    SetRedundancy(opts.redundancy, opts.parity_group_width);
+  }
+  Redundancy redundancy() const { return redundancy_; }
+  /// Parity group width G in force (0 when parity is not armed).
+  size_t parity_group_width() const {
+    return redundancy_ == Redundancy::kParity ? group_data_ + 1 : 0;
+  }
+
+  /// Physical redundancy gauge (never part of IoStats).
+  RedundancyStats redundancy_stats() const;
+
+  /// Head `d` latched dead: a transfer on it failed permanently (after
+  /// retry exhaustion) or MarkDiskDead was called. Dead heads receive
+  /// no transfers — reads reconstruct, writes land in the redundancy
+  /// plane — until a rebuild swaps in a spare.
+  bool DiskDead(size_t d) const {
+    return d < 64 && ((dead_mask_.load(std::memory_order_acquire) >> d) & 1);
+  }
+  /// Latch head `d` dead (tests and external fault handlers; the device
+  /// latches automatically on its own permanent failures).
+  void MarkDiskDead(size_t d);
+  /// Degraded-read trigger: dead, or currently quarantined by the
+  /// attached engine's health monitor.
+  bool DiskDegraded(size_t d) const;
+
+  /// Engine disk tag of head `d` (its child device pointer) — the key
+  /// for IoEngine::DiskHealth and friends.
+  uint64_t DiskTag(size_t d) const {
+    return reinterpret_cast<uintptr_t>(disks_[d].get());
+  }
+
+  /// Park a hot spare for RebuildDisk. Must be fresh and share the
+  /// block size; the device takes ownership.
+  Status AttachSpare(std::unique_ptr<BlockDevice> spare);
+  size_t spares_available() const;
+
+  /// Drain head `d` onto an attached spare and swap it in: every live
+  /// block (and parity block / mirror copy) homed on `d` is copied —
+  /// reconstructed from the group when `d` is dead — in batches of
+  /// `batch_blocks` uncounted transfers, throttled by the engine's
+  /// depth gauge so demand traffic keeps priority. Blocks written while
+  /// the drain runs are re-copied in the final (quiesced) pass, then
+  /// placement flips to the spare, the dead latch clears, and the
+  /// engine forgets the old head's health record. `cancel` is polled
+  /// between batches (RebuildManager passes "head recovered"); a
+  /// cancelled rebuild returns Status::Busy and re-parks the spare.
+  /// Requires redundancy armed; the drain itself rides the redundancy
+  /// gauge (rebuilt_blocks / parity_bytes), never IoStats.
+  Status RebuildDisk(size_t d, const std::function<bool()>& cancel = nullptr,
+                     size_t batch_blocks = 8);
+
  private:
   struct Loc {
     uint32_t disk;
     uint64_t child_id;
   };
+  /// One parity group's parity block (guarded by loc_mu_; content ops
+  /// additionally serialize on parity_mu_).
+  struct ParityLoc {
+    uint32_t disk;
+    uint64_t child_id;
+    uint32_t live = 0;  // allocated members; group dissolves at 0
+  };
+  /// Everything a reconstruction needs, copied out of the placement map
+  /// so the physical reads run lock-free (see BuildReconPlan).
+  struct ReconPlan {
+    bool written = false;       // target ever written? (else Corruption)
+    Loc target{};               // home of the block being reconstructed
+    std::vector<Loc> peers;     // written live members to XOR (parity)
+    bool use_parity = false;    // parity mode (else mirror)
+    bool parity_written = false;
+    Loc parity{};               // parity block (parity mode)
+    Loc mirror{};               // copy (mirror mode)
+  };
 
   /// Group a batch per disk (preserving order within each disk) and run
   /// one child batch per disk — engine-parallel with disk-tagged jobs
   /// when an engine is attached, sequential otherwise. `counted` uses
-  /// the children's counted plane.
+  /// the children's counted plane. Healthy-path only; redundancy-armed
+  /// batches go through FanOutRead / FanOutWrite below.
   Status FanOut(const uint64_t* ids, void* const* bufs, size_t n, bool write,
                 bool counted);
 
+  /// Redundancy-aware batch read: degraded heads' blocks reconstruct in
+  /// the caller thread, healthy heads fan out as usual, and a head that
+  /// fails permanently MID-batch is latched dead, its child charges
+  /// topped up to the healthy count, and its blocks reconstructed.
+  Status FanOutRead(const uint64_t* ids, void* const* bufs, size_t n,
+                    bool counted);
+  /// Redundancy-aware batch write: parity read-modify-write (or
+  /// full-stripe) under parity_mu_, data writes fanned out to live
+  /// heads, dead heads' content carried by the redundancy plane alone.
+  Status FanOutWrite(const uint64_t* ids, const void* const* bufs, size_t n,
+                     bool counted);
+
   /// Placement lookup under the shared lock; false for unknown ids.
   bool Lookup(uint64_t id, Loc* out) const;
+
+  /// Next disk from the cycling permutation (loc_mu_ held exclusively);
+  /// reshuffles and refreshes the quarantine snapshot at cycle ends.
+  uint32_t NextCycleDisk();
+  /// Member/parity disks group `g` already occupies (loc_mu_ held).
+  uint64_t GroupDiskMaskLocked(uint64_t g) const;
+
+  /// Copy every fact a reconstruction of `id` needs (loc_locked = the
+  /// caller already holds loc_mu_). False when `id` is unknown.
+  bool BuildReconPlan(uint64_t id, bool loc_locked, ReconPlan* out) const;
+  /// Run a plan: XOR the parity block and written peers (or read the
+  /// mirror copy) into `out`. Physical reads are uncounted and ride the
+  /// gauge. parity_mu_ must be held; loc_mu_ must NOT be needed.
+  Status ExecuteReconPlan(const ReconPlan& plan, void* out);
+  /// Reconstruct `id` into `out` (parity_mu_ held, loc_mu_ not held).
+  Status ReconstructLocked(uint64_t id, void* out);
+  /// Fold `delta` into group `g`'s parity block (parity_mu_ held).
+  /// `absolute` overwrites instead of XORing (full-stripe). Skipped
+  /// silently when the parity head is dead (single-failure model: the
+  /// rebuild recomputes parity from members).
+  Status ApplyParityLocked(uint64_t g, const char* delta, bool absolute);
+
+  /// Serve a single degraded read: reconstruct under parity_mu_, then
+  /// (counted only) charge the home child's deferred plane — the exact
+  /// charge its healthy synchronous Read would have recorded.
+  Status DegradedReadBlock(uint64_t id, const Loc& l, void* buf, bool counted);
+
+  bool RedundancyArmed() const { return redundancy_ != Redundancy::kNone; }
+  void MarkWrittenShared(const uint64_t* ids, size_t n);
 
   size_t block_size_;
   std::vector<std::unique_ptr<BlockDevice>> disks_;
@@ -190,9 +357,52 @@ class IndependentDiskDevice final : public BlockDevice {
   Rng rng_;                              // placement randomness (seeded)
   std::vector<uint32_t> cycle_;          // current disk permutation
   size_t cycle_pos_ = 0;                 // next slot in cycle_
+  // Quarantine snapshot for kNone placement diversion, refreshed once
+  // per placement cycle (satellite of the flapping-head race: one cycle
+  // must see ONE consistent quarantine view, not a per-allocation one).
+  // Bit d = head d quarantined at the last cycle boundary.
+  uint64_t cycle_quarantine_mask_ = 0;
   // Atomic because uncounted transfers may inspect it from engine
   // workers while the owning thread allocates (which can clear it).
   std::atomic<bool> valid_{true};
+
+  // ------------------------------------------------- redundancy state
+  Redundancy redundancy_ = Redundancy::kNone;
+  size_t group_data_ = 0;  // data blocks per parity group = G - 1
+  // Guarded by loc_mu_ like loc_: parity placement, mirror placement,
+  // and the per-id written/freed flags (single-byte slots are mutated
+  // under the SHARED lock — distinct ids never race, and growth happens
+  // only under the exclusive lock).
+  std::unordered_map<uint64_t, ParityLoc> parity_;  // group -> parity
+  std::vector<Loc> mirror_;                         // id -> copy (kMirror)
+  std::vector<uint8_t> written_;                    // id -> payload landed
+  std::vector<uint8_t> freed_;                      // id -> on free_list_
+  // Serializes every parity/mirror CONTENT operation (RMW, full-stripe,
+  // reconstruction, free-time XOR-out, rebuild batches) so concurrent
+  // writers cannot interleave a read-modify-write. Ordering: parity_mu_
+  // is taken BEFORE loc_mu_; no code path takes them the other way
+  // around while holding parity_mu_.
+  mutable std::mutex parity_mu_;
+  std::unordered_set<uint64_t> parity_written_;  // groups with real parity
+  // Heads latched dead (bit per disk index, up to 64 heads).
+  std::atomic<uint64_t> dead_mask_{0};
+  // Rebuild coordination (guarded by parity_mu_): while a drain of
+  // rebuilding_disk_ runs, write paths log the ids they touch on it so
+  // the final pass re-copies exactly the blocks that went stale.
+  int rebuilding_disk_ = -1;
+  std::unordered_set<uint64_t> rebuild_dirty_;
+  // Hot spares (guarded by loc_mu_) and swapped-out heads. Retired
+  // heads stay alive for the device's lifetime: engine queues and
+  // health records key on the child pointer, and a freed pointer could
+  // be recycled into a colliding tag.
+  std::vector<std::unique_ptr<BlockDevice>> spares_;
+  std::vector<std::unique_ptr<BlockDevice>> retired_;
+  // The physical gauge (atomics: degraded reads run on engine workers).
+  std::atomic<uint64_t> g_degraded_reads_{0};
+  std::atomic<uint64_t> g_degraded_writes_{0};
+  std::atomic<uint64_t> g_parity_writes_{0};
+  std::atomic<uint64_t> g_parity_bytes_{0};
+  std::atomic<uint64_t> g_rebuilt_blocks_{0};
 };
 
 }  // namespace vem

@@ -352,7 +352,10 @@ void IoEngine::FoldHealthLocked(uint64_t disk_tag, bool ok,
   if (!h.quarantined && h.error_ewma > kQuarantineEnter) {
     h.quarantined = true;
     quarantined_count_++;
-  } else if (h.quarantined && h.error_ewma < kQuarantineExit) {
+  } else if (h.quarantined && !h.fail_stopped &&
+             h.error_ewma < kQuarantineExit) {
+    // A fail-stopped head is latched: success evidence (e.g. deferred
+    // accounting riding the tag, or a stray probe) never clears it.
     h.quarantined = false;
     quarantined_count_--;
   }
@@ -364,6 +367,35 @@ void IoEngine::ReportDiskResult(uint64_t disk_tag, bool ok,
   FoldHealthLocked(disk_tag, ok, service_ns);
 }
 
+void IoEngine::ReportDiskFailStop(uint64_t disk_tag) {
+  std::lock_guard<std::mutex> lock(mu_);
+  DiskHealthState& h = health_[disk_tag];
+  h.error_ewma = 1.0;
+  h.samples++;
+  h.fail_stopped = true;
+  if (!h.quarantined) {
+    h.quarantined = true;
+    quarantined_count_++;
+  }
+}
+
+void IoEngine::SetDiskRebuilding(uint64_t disk_tag, bool rebuilding) {
+  std::lock_guard<std::mutex> lock(mu_);
+  health_[disk_tag].in_rebuild = rebuilding;
+}
+
+void IoEngine::ForgetDisk(uint64_t disk_tag) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto hit = health_.find(disk_tag);
+  if (hit != health_.end()) {
+    if (hit->second.quarantined) quarantined_count_--;
+    health_.erase(hit);
+  }
+  for (auto it = route_tags_.begin(); it != route_tags_.end();) {
+    it = it->second == disk_tag ? route_tags_.erase(it) : std::next(it);
+  }
+}
+
 IoEngine::DiskHealthSnapshot IoEngine::DiskHealth(uint64_t disk_tag) const {
   std::lock_guard<std::mutex> lock(mu_);
   DiskHealthSnapshot snap;
@@ -373,7 +405,35 @@ IoEngine::DiskHealthSnapshot IoEngine::DiskHealth(uint64_t disk_tag) const {
   snap.latency_ewma_ns = it->second.latency_ewma_ns;
   snap.samples = it->second.samples;
   snap.quarantined = it->second.quarantined;
+  snap.fail_stopped = it->second.fail_stopped;
+  snap.in_rebuild = it->second.in_rebuild;
   return snap;
+}
+
+std::map<uint64_t, IoEngine::DiskHealthSnapshot> IoEngine::HealthSnapshot()
+    const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::map<uint64_t, DiskHealthSnapshot> out;
+  for (const auto& [tag, h] : health_) {
+    DiskHealthSnapshot snap;
+    snap.error_ewma = h.error_ewma;
+    snap.latency_ewma_ns = h.latency_ewma_ns;
+    snap.samples = h.samples;
+    snap.quarantined = h.quarantined;
+    snap.fail_stopped = h.fail_stopped;
+    snap.in_rebuild = h.in_rebuild;
+    out.emplace(tag, snap);
+  }
+  return out;
+}
+
+std::vector<uint64_t> IoEngine::QuarantinedTagsSnapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<uint64_t> out;
+  for (const auto& [tag, h] : health_) {
+    if (h.quarantined) out.push_back(tag);
+  }
+  return out;
 }
 
 bool IoEngine::DiskQuarantined(uint64_t disk_tag) const {

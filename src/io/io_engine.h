@@ -260,6 +260,12 @@ class IoEngine : public DepthGauge {
     double latency_ewma_ns = 0.0;
     uint64_t samples = 0;
     bool quarantined = false;
+    /// Permanent failure reported (ReportDiskFailStop): quarantine is
+    /// latched — success evidence no longer clears it. Only ForgetDisk
+    /// (the rebuild swapping in a spare) retires the record.
+    bool fail_stopped = false;
+    /// A RebuildManager is draining this disk onto a spare right now.
+    bool in_rebuild = false;
   };
 
   /// Evidence feed. Worker-executed tagged jobs report automatically
@@ -270,9 +276,37 @@ class IoEngine : public DepthGauge {
   /// latency fold.
   void ReportDiskResult(uint64_t disk_tag, bool ok, uint64_t service_ns = 0);
 
+  /// Permanent-failure evidence: a transfer on `disk_tag` failed with a
+  /// non-transient Status after the retry plane was exhausted (or with
+  /// no retry plane at all). Saturates the error EWMA and latches
+  /// quarantine — a fail-stopped head never leaves quarantine through
+  /// success evidence; only ForgetDisk (rebuild swap) retires it.
+  /// RunWithDiskRetry calls this automatically on final permanent
+  /// failures.
+  void ReportDiskFailStop(uint64_t disk_tag);
+
+  /// Mark/unmark a disk as being drained onto a spare (RebuildManager
+  /// brackets its drain with this); pure introspection, visible in
+  /// DiskHealth/HealthSnapshot.
+  void SetDiskRebuilding(uint64_t disk_tag, bool rebuilding);
+
+  /// Drop one disk's health record and route labels entirely — the
+  /// rebuild swapped a spare in for this tag and the dead head's record
+  /// must not shadow the spare's clean one.
+  void ForgetDisk(uint64_t disk_tag);
+
   DiskHealthSnapshot DiskHealth(uint64_t disk_tag) const;
   bool DiskQuarantined(uint64_t disk_tag) const;
   size_t quarantined_disks() const;
+
+  /// All tracked disks' health in one locked pass (bench/CLI
+  /// introspection; also the one-shot quarantine view placement cycles
+  /// snapshot so a flapping head cannot split one cycle across
+  /// inconsistent per-allocation queries).
+  std::map<uint64_t, DiskHealthSnapshot> HealthSnapshot() const;
+
+  /// Tags currently quarantined, in one locked pass.
+  std::vector<uint64_t> QuarantinedTagsSnapshot() const;
 
   /// DepthGauge: quarantine state of the disk labeled `route` (false for
   /// route 0 / unlabeled routes), and whether ANY disk is quarantined.
@@ -297,6 +331,8 @@ class IoEngine : public DepthGauge {
     double latency_ewma_ns = 0.0;
     uint64_t samples = 0;
     bool quarantined = false;
+    bool fail_stopped = false;
+    bool in_rebuild = false;
   };
   struct DiskQueue {
     std::deque<Job> queue;

@@ -49,4 +49,28 @@ struct IoStats {
   }
 };
 
+/// Physical gauge for the redundancy plane (IndependentDiskDevice with
+/// Options::redundancy != kNone). Strictly SEPARATE from IoStats: the
+/// logical planes stay bit-identical healthy vs degraded, and every
+/// byte the redundancy machinery moves — parity read-modify-writes,
+/// mirror copies, reconstruction waves, rebuild drains — lands here
+/// instead. Same philosophy as RetryPolicy's retry gauge.
+struct RedundancyStats {
+  uint64_t degraded_reads = 0;   ///< blocks served by reconstruction
+  uint64_t degraded_writes = 0;  ///< writes landed via parity/mirror only
+  uint64_t parity_writes = 0;    ///< parity/mirror block writes
+  uint64_t parity_bytes = 0;     ///< physical redundancy bytes moved
+  uint64_t rebuilt_blocks = 0;   ///< blocks drained onto a spare
+
+  bool operator==(const RedundancyStats&) const = default;
+
+  std::string ToString() const {
+    return "degraded_reads=" + std::to_string(degraded_reads) +
+           " degraded_writes=" + std::to_string(degraded_writes) +
+           " parity_writes=" + std::to_string(parity_writes) +
+           " parity_bytes=" + std::to_string(parity_bytes) +
+           " rebuilt=" + std::to_string(rebuilt_blocks);
+  }
+};
+
 }  // namespace vem

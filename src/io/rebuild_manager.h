@@ -1,0 +1,91 @@
+// RebuildManager: the background policy loop over IndependentDiskDevice::
+// RebuildDisk.
+//
+// The device mechanism is synchronous and head-at-a-time; this manager
+// decides WHEN to run it: a head that is latched dead (fail-stop past the
+// retry plane) always rebuilds as soon as a spare is parked; a head that
+// is merely quarantined rebuilds too — but its drain is cancelled (the
+// spare re-parked, Status::Busy) the moment the health EWMA clears the
+// quarantine, because a recovered head's contents are still current
+// (writes keep landing on quarantined-but-alive heads precisely so this
+// flip-back is free).
+//
+// Pacing: RebuildDisk already yields to demand traffic via the engine's
+// depth gauge between batches. The batch size itself can ride the
+// MemoryArbiter — AttachArbiter registers a LOW-priority "rebuild" tenant
+// and sizes copy batches from its staging lease target, so a loaded
+// machine automatically shrinks rebuild appetite and an idle one grows
+// it. Without an arbiter a fixed default batch is used.
+//
+// Drive it either way:
+//  - RunOnce() from your own scheduler/test — scans all heads, rebuilds
+//    what needs it, returns the first error (Status::OK when idle);
+//  - Start(poll_ms)/Stop() for a self-contained polling thread.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "util/status.h"
+
+namespace vem {
+
+class IndependentDiskDevice;
+class IoEngine;
+class MemoryArbiter;
+class StagingLease;
+class TenantLease;
+
+class RebuildManager {
+ public:
+  struct Stats {
+    uint64_t rebuilds_completed = 0;  ///< drains that swapped a spare in
+    uint64_t cancelled = 0;           ///< drains undone (head recovered)
+    uint64_t failed = 0;              ///< drains that hit a hard error
+  };
+
+  /// `device` must outlive the manager; `engine` may be null (no
+  /// throttle gauge, health checks fall back to the device's dead set).
+  explicit RebuildManager(IndependentDiskDevice* device,
+                          IoEngine* engine = nullptr);
+  ~RebuildManager();
+
+  RebuildManager(const RebuildManager&) = delete;
+  RebuildManager& operator=(const RebuildManager&) = delete;
+
+  /// Register a low-priority tenant with the arbiter and size copy
+  /// batches from its staging lease. The arbiter must outlive the
+  /// manager.
+  void AttachArbiter(MemoryArbiter* arbiter);
+
+  /// One scheduling pass: rebuild every degraded head a spare is
+  /// available for. Synchronous; returns the first hard error (a
+  /// cancelled drain is bookkept, not an error). Safe to call from
+  /// tests and external schedulers even while Start() is not running.
+  Status RunOnce();
+
+  /// Start/stop the self-contained polling thread.
+  void Start(uint64_t poll_ms = 50);
+  void Stop();
+
+  Stats stats() const;
+
+ private:
+  size_t BatchBlocks() const;
+
+  IndependentDiskDevice* device_;
+  IoEngine* engine_;
+  std::unique_ptr<TenantLease> tenant_;
+  std::unique_ptr<StagingLease> staging_;
+
+  mutable std::mutex mu_;
+  Stats stats_;
+  std::condition_variable cv_;
+  bool stop_ = true;
+  std::thread thread_;
+};
+
+}  // namespace vem

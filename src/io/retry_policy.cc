@@ -150,18 +150,30 @@ Status RetryPolicy::Run(uint64_t key, const std::function<Status()>& op,
 Status RunWithDiskRetry(RetryPolicy* policy, IoEngine* engine,
                         uint64_t disk_tag, uint64_t key,
                         const std::function<Status()>& op) {
-  if (policy == nullptr) return op();
-  size_t fails = 0;
-  Status s = policy->Run(key, op, [&](const Status& attempt) {
-    ++fails;
-    if (engine != nullptr) engine->ReportDiskResult(disk_tag, false, 0);
-    (void)attempt;
-  });
-  // The final success after at least one failure is recovery evidence:
-  // without it a head whose faults retries always absorb could only ever
-  // accumulate failures and would stay quarantined forever.
-  if (s.ok() && fails > 0 && engine != nullptr) {
-    engine->ReportDiskResult(disk_tag, true, 0);
+  Status s;
+  if (policy == nullptr) {
+    s = op();
+  } else {
+    size_t fails = 0;
+    s = policy->Run(key, op, [&](const Status& attempt) {
+      ++fails;
+      if (engine != nullptr) engine->ReportDiskResult(disk_tag, false, 0);
+      (void)attempt;
+    });
+    // The final success after at least one failure is recovery evidence:
+    // without it a head whose faults retries always absorb could only ever
+    // accumulate failures and would stay quarantined forever.
+    if (s.ok() && fails > 0 && engine != nullptr) {
+      engine->ReportDiskResult(disk_tag, true, 0);
+    }
+  }
+  // Fail-stop escalation: an IOError surviving the retry plane (or
+  // arriving with no retry plane armed) is permanent-failure evidence —
+  // latch the head's quarantine so redundancy/rebuild take over. Other
+  // permanent codes (InvalidArgument, Corruption-of-content) indict the
+  // request or the payload, not the head, and do not escalate.
+  if (s.IsIOError() && engine != nullptr) {
+    engine->ReportDiskFailStop(disk_tag);
   }
   return s;
 }

@@ -20,6 +20,23 @@ namespace vem {
 ///    accounting planes are unchanged.
 enum class IoBackend { kWorkerPool, kIoUring };
 
+/// Redundancy scheme for IndependentDiskDevice (see the "Redundancy
+/// plane" section of io/independent_disk_device.h).
+///  - kNone:   no redundancy — a permanently failed head loses its
+///             blocks (the historical behavior).
+///  - kParity: RAID-5-style rotated parity groups of width G =
+///             parity_group_width (G-1 data blocks + 1 parity block, all
+///             on distinct heads). Survives any single-head failure;
+///             small writes pay a physical read-modify-write on the
+///             parity block, charged to the redundancy gauge only.
+///  - kMirror: every block keeps a full copy on a second head (G = 2
+///             parity degenerates to mirroring of the XOR; kMirror
+///             stores the plain copy and skips the RMW).
+/// Redundancy never changes the LOGICAL IoStats planes: degraded reads
+/// and diverted writes charge exactly what the healthy path would have,
+/// and all reconstruction traffic rides RedundancyStats.
+enum class Redundancy { kNone, kParity, kMirror };
+
 /// Global configuration of the simulated machine.
 ///
 /// Maps onto the PDM parameters:
@@ -150,6 +167,24 @@ struct Options {
   /// the abandoned job's eventual result is discarded. This is a
   /// liveness backstop, not a retry trigger (see Status::IsTransient).
   uint64_t io_deadline_ms = 0;
+
+  /// Redundancy scheme for IndependentDiskDevice. kNone (the default)
+  /// is bit-identical to the pre-redundancy substrate. kParity arms
+  /// rotated parity groups; kMirror keeps a full second copy. Either
+  /// scheme makes the device survive one permanently failed head:
+  /// reads reconstruct from the surviving group members, writes divert
+  /// through the redundancy plane, and a RebuildManager can drain the
+  /// lost head onto a hot spare. With redundancy armed, placement
+  /// ignores quarantine (the redundancy plane, not placement diversion,
+  /// carries sick-head traffic) so healthy and degraded runs keep
+  /// bit-identical logical IoStats.
+  Redundancy redundancy = Redundancy::kNone;
+
+  /// Parity group width G for Redundancy::kParity: each group holds
+  /// G-1 data blocks plus one parity block, all on distinct heads.
+  /// Clamped to [2, num_disks]. 0 (the default) uses G = num_disks —
+  /// the widest (cheapest-in-space) group the disk count supports.
+  size_t parity_group_width = 0;
 
   /// Group-commit window in microseconds: a committer that finds no
   /// fsync in flight waits this long before paying one, so concurrent

@@ -24,6 +24,10 @@
 //    other heads) and the engine-saturation gate on staging grows
 //    (governor depth grows and arbiter staging grows both refuse while
 //    every worker is busy with a backlog).
+//
+// The redundancy plane (parity/mirror degraded mode, kill-a-disk-
+// mid-sort stats identity, rebuild onto spares) is pinned in
+// tests/redundancy_test.cc.
 #include <gtest/gtest.h>
 
 #include <algorithm>
